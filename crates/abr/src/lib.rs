@@ -1,0 +1,32 @@
+//! Adaptive-bitrate (ABR) video streaming simulator.
+//!
+//! §6.2 of the paper proposes comparative synthesis for ABR algorithm
+//! design: QoE metrics (average bitrate, rebuffering ratio, startup delay,
+//! quality switches) are combined ad hoc by existing systems, and a
+//! publisher could instead *learn* the QoE objective by ranking simulated
+//! playback scenarios. This crate provides the simulation substrate:
+//!
+//! * [`trace`] — synthetic network bandwidth traces (stable, stepwise,
+//!   bursty, periodic);
+//! * [`player`] — a chunk-level playback simulator with buffer dynamics,
+//!   startup latency and rebuffering accounting;
+//! * [`policies`] — classic ABR policies: buffer-based (BBA-style),
+//!   rate-based, and a fixed-quality baseline;
+//! * [`qoe`] — metric extraction producing the scenario vectors the
+//!   comparative synthesizer ranks.
+//!
+//! The simulation is deterministic given a trace, so experiments are
+//! exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod player;
+pub mod policies;
+pub mod qoe;
+pub mod trace;
+
+pub use player::{PlaybackLog, Player, VideoSpec};
+pub use policies::AbrPolicy;
+pub use qoe::QoeMetrics;
+pub use trace::BandwidthTrace;

@@ -1,0 +1,219 @@
+//! Chunk-level playback simulation.
+//!
+//! The standard ABR model (as in MPC/Pensieve): video is divided into
+//! fixed-duration chunks, each encoded at several bitrates; the player
+//! downloads chunks sequentially, choosing a bitrate per chunk; playback
+//! stalls (rebuffers) when the buffer empties.
+
+use crate::policies::AbrPolicy;
+use crate::trace::BandwidthTrace;
+
+/// Static description of a video and player.
+#[derive(Debug, Clone)]
+pub struct VideoSpec {
+    /// Chunk duration in seconds.
+    pub chunk_seconds: f64,
+    /// Number of chunks in the video.
+    pub n_chunks: usize,
+    /// Available bitrate ladder in kbit/s, ascending.
+    pub bitrates_kbps: Vec<f64>,
+    /// Maximum buffer level in seconds.
+    pub max_buffer: f64,
+}
+
+impl VideoSpec {
+    /// A typical HD ladder: 300 kbps .. 4300 kbps, 4-second chunks.
+    #[must_use]
+    pub fn hd(n_chunks: usize) -> VideoSpec {
+        VideoSpec {
+            chunk_seconds: 4.0,
+            n_chunks,
+            bitrates_kbps: vec![300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0],
+            max_buffer: 30.0,
+        }
+    }
+
+    /// Kilobits in one chunk at ladder index `q`.
+    #[must_use]
+    pub fn chunk_kbits(&self, q: usize) -> f64 {
+        self.bitrates_kbps[q] * self.chunk_seconds
+    }
+
+    /// Number of quality levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.bitrates_kbps.len()
+    }
+}
+
+/// Per-chunk record of a simulated session.
+#[derive(Debug, Clone)]
+pub struct ChunkRecord {
+    /// Ladder index chosen.
+    pub quality: usize,
+    /// Download time in seconds.
+    pub download_time: f64,
+    /// Rebuffering incurred while waiting for this chunk, seconds.
+    pub rebuffer: f64,
+    /// Buffer level (seconds) after the chunk arrived.
+    pub buffer_after: f64,
+}
+
+/// Full log of a playback session.
+#[derive(Debug, Clone)]
+pub struct PlaybackLog {
+    /// Startup delay (time to first frame), seconds.
+    pub startup: f64,
+    /// Per-chunk records.
+    pub chunks: Vec<ChunkRecord>,
+    /// The spec used.
+    pub spec: VideoSpec,
+}
+
+/// The player simulator.
+#[derive(Debug, Clone)]
+pub struct Player {
+    spec: VideoSpec,
+}
+
+impl Player {
+    /// Create a player for the given video.
+    ///
+    /// # Panics
+    /// Panics if the spec is degenerate (no chunks, empty or unsorted
+    /// ladder, non-positive durations).
+    #[must_use]
+    pub fn new(spec: VideoSpec) -> Player {
+        assert!(spec.n_chunks > 0, "need at least one chunk");
+        assert!(spec.chunk_seconds > 0.0, "chunk duration must be positive");
+        assert!(!spec.bitrates_kbps.is_empty(), "empty bitrate ladder");
+        assert!(
+            spec.bitrates_kbps.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be strictly ascending"
+        );
+        assert!(spec.max_buffer >= spec.chunk_seconds, "buffer smaller than one chunk");
+        Player { spec }
+    }
+
+    /// The video spec.
+    #[must_use]
+    pub fn spec(&self) -> &VideoSpec {
+        &self.spec
+    }
+
+    /// Simulate a session of `policy` over `trace`.
+    pub fn simulate(&self, policy: &mut dyn AbrPolicy, trace: &BandwidthTrace) -> PlaybackLog {
+        let mut now = 0.0f64; // wall-clock
+        let mut buffer = 0.0f64; // seconds of video buffered
+        let mut chunks = Vec::with_capacity(self.spec.n_chunks);
+        let mut startup = 0.0f64;
+        let mut playing = false;
+        let mut last_throughput = None::<f64>;
+
+        for _ in 0..self.spec.n_chunks {
+            let q = policy
+                .choose(&self.spec, buffer, last_throughput)
+                .min(self.spec.levels() - 1);
+            let kbits = self.spec.chunk_kbits(q);
+            let dt = trace.download_time(now, kbits);
+            last_throughput = Some(kbits / dt.max(1e-9));
+
+            let mut rebuffer = 0.0;
+            if playing {
+                if dt > buffer {
+                    rebuffer = dt - buffer;
+                    buffer = 0.0;
+                } else {
+                    buffer -= dt;
+                }
+            }
+            now += dt;
+            buffer += self.spec.chunk_seconds;
+            if !playing {
+                startup = now;
+                playing = true;
+            }
+            // Buffer cap: the player idles rather than exceeding max_buffer.
+            if buffer > self.spec.max_buffer {
+                let idle = buffer - self.spec.max_buffer;
+                now += idle;
+                buffer = self.spec.max_buffer;
+            }
+            chunks.push(ChunkRecord { quality: q, download_time: dt, rebuffer, buffer_after: buffer });
+        }
+
+        PlaybackLog { startup, chunks, spec: self.spec.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::FixedQuality;
+
+    fn spec() -> VideoSpec {
+        VideoSpec::hd(20)
+    }
+
+    #[test]
+    fn fast_link_no_rebuffering() {
+        let player = Player::new(spec());
+        // 10 Mbps easily sustains the top 4.3 Mbps rung.
+        let trace = BandwidthTrace::constant(10_000.0, 600);
+        let log = player.simulate(&mut FixedQuality::new(5), &trace);
+        assert_eq!(log.chunks.len(), 20);
+        assert!(log.chunks.iter().all(|c| c.rebuffer == 0.0));
+        assert!(log.chunks.iter().all(|c| c.quality == 5));
+        assert!(log.startup > 0.0 && log.startup < 3.0);
+    }
+
+    #[test]
+    fn slow_link_high_quality_rebuffers() {
+        let player = Player::new(spec());
+        // 1 Mbps cannot sustain 4.3 Mbps: must rebuffer.
+        let trace = BandwidthTrace::constant(1000.0, 2000);
+        let log = player.simulate(&mut FixedQuality::new(5), &trace);
+        let total_rebuffer: f64 = log.chunks.iter().map(|c| c.rebuffer).sum();
+        assert!(total_rebuffer > 0.0, "must stall on an undersized link");
+    }
+
+    #[test]
+    fn slow_link_low_quality_is_smooth() {
+        let player = Player::new(spec());
+        let trace = BandwidthTrace::constant(1000.0, 2000);
+        let log = player.simulate(&mut FixedQuality::new(0), &trace);
+        let total_rebuffer: f64 = log.chunks.iter().map(|c| c.rebuffer).sum();
+        assert_eq!(total_rebuffer, 0.0, "300 kbps fits in 1 Mbps");
+    }
+
+    #[test]
+    fn buffer_respects_cap() {
+        let player = Player::new(spec());
+        let trace = BandwidthTrace::constant(50_000.0, 600);
+        let log = player.simulate(&mut FixedQuality::new(0), &trace);
+        for c in &log.chunks {
+            assert!(c.buffer_after <= player.spec().max_buffer + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let player = Player::new(spec());
+        let trace = BandwidthTrace::bursty(500.0, 5000.0, 300, 3);
+        let a = player.simulate(&mut FixedQuality::new(2), &trace);
+        let b = player.simulate(&mut FixedQuality::new(2), &trace);
+        assert_eq!(a.startup, b.startup);
+        assert_eq!(a.chunks.len(), b.chunks.len());
+        for (x, y) in a.chunks.iter().zip(&b.chunks) {
+            assert_eq!(x.download_time, y.download_time);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_ladder_panics() {
+        let mut s = spec();
+        s.bitrates_kbps = vec![500.0, 300.0];
+        let _ = Player::new(s);
+    }
+}

@@ -1,0 +1,228 @@
+//! ABR policies: per-chunk bitrate selection.
+
+use crate::player::VideoSpec;
+
+/// A bitrate-selection policy.
+pub trait AbrPolicy {
+    /// Choose a ladder index for the next chunk given the current buffer
+    /// level (seconds) and the last observed throughput (kbps), if any.
+    fn choose(&mut self, spec: &VideoSpec, buffer: f64, last_throughput: Option<f64>) -> usize;
+
+    /// Policy name for logs and tables.
+    fn name(&self) -> &'static str {
+        "abr"
+    }
+}
+
+/// Always pick the same rung (baseline / debugging).
+#[derive(Debug, Clone)]
+pub struct FixedQuality {
+    q: usize,
+}
+
+impl FixedQuality {
+    /// Always choose rung `q` (clamped to the ladder by the player).
+    #[must_use]
+    pub fn new(q: usize) -> FixedQuality {
+        FixedQuality { q }
+    }
+}
+
+impl AbrPolicy for FixedQuality {
+    fn choose(&mut self, _spec: &VideoSpec, _buffer: f64, _tp: Option<f64>) -> usize {
+        self.q
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Buffer-based ABR (BBA-style): map the buffer level linearly onto the
+/// ladder between a reservoir and a cushion.
+#[derive(Debug, Clone)]
+pub struct BufferBased {
+    /// Below this buffer level, pick the lowest rung.
+    pub reservoir: f64,
+    /// Above `reservoir + cushion`, pick the highest rung.
+    pub cushion: f64,
+}
+
+impl BufferBased {
+    /// BBA with the classic 5 s reservoir / 20 s cushion.
+    #[must_use]
+    pub fn classic() -> BufferBased {
+        BufferBased { reservoir: 5.0, cushion: 20.0 }
+    }
+}
+
+impl AbrPolicy for BufferBased {
+    fn choose(&mut self, spec: &VideoSpec, buffer: f64, _tp: Option<f64>) -> usize {
+        if buffer <= self.reservoir {
+            return 0;
+        }
+        let top = spec.levels() - 1;
+        if buffer >= self.reservoir + self.cushion {
+            return top;
+        }
+        let frac = (buffer - self.reservoir) / self.cushion;
+        ((frac * top as f64).floor() as usize).min(top)
+    }
+
+    fn name(&self) -> &'static str {
+        "buffer-based"
+    }
+}
+
+/// Rate-based ABR: pick the highest rung below a safety fraction of the
+/// measured throughput (EWMA-smoothed).
+#[derive(Debug, Clone)]
+pub struct RateBased {
+    /// Safety factor in `(0, 1]` applied to the estimate.
+    pub safety: f64,
+    /// EWMA weight for new samples in `(0, 1]`.
+    pub alpha: f64,
+    estimate: Option<f64>,
+}
+
+impl RateBased {
+    /// Rate-based with the given safety factor (e.g. 0.85).
+    #[must_use]
+    pub fn new(safety: f64) -> RateBased {
+        assert!(safety > 0.0 && safety <= 1.0, "safety in (0, 1]");
+        RateBased { safety, alpha: 0.5, estimate: None }
+    }
+}
+
+impl AbrPolicy for RateBased {
+    fn choose(&mut self, spec: &VideoSpec, _buffer: f64, tp: Option<f64>) -> usize {
+        if let Some(t) = tp {
+            self.estimate = Some(match self.estimate {
+                Some(e) => e * (1.0 - self.alpha) + t * self.alpha,
+                None => t,
+            });
+        }
+        let Some(est) = self.estimate else {
+            return 0; // conservative start
+        };
+        let budget = est * self.safety;
+        let mut pick = 0;
+        for (i, &br) in spec.bitrates_kbps.iter().enumerate() {
+            if br <= budget {
+                pick = i;
+            }
+        }
+        pick
+    }
+
+    fn name(&self) -> &'static str {
+        "rate-based"
+    }
+}
+
+/// Hybrid: rate-based choice, demoted when the buffer is low and promoted
+/// when the buffer is full — a simple stand-in for MPC-style lookahead.
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    rate: RateBased,
+    /// Demote below this buffer (seconds).
+    pub low_water: f64,
+    /// Promote above this buffer (seconds).
+    pub high_water: f64,
+}
+
+impl Hybrid {
+    /// Hybrid with the given safety factor and 8 s / 22 s watermarks.
+    #[must_use]
+    pub fn new(safety: f64) -> Hybrid {
+        Hybrid { rate: RateBased::new(safety), low_water: 8.0, high_water: 22.0 }
+    }
+}
+
+impl AbrPolicy for Hybrid {
+    fn choose(&mut self, spec: &VideoSpec, buffer: f64, tp: Option<f64>) -> usize {
+        let base = self.rate.choose(spec, buffer, tp);
+        if buffer < self.low_water {
+            base.saturating_sub(1)
+        } else if buffer > self.high_water {
+            (base + 1).min(spec.levels() - 1)
+        } else {
+            base
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> VideoSpec {
+        VideoSpec::hd(10)
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut p = FixedQuality::new(3);
+        assert_eq!(p.choose(&spec(), 0.0, None), 3);
+        assert_eq!(p.choose(&spec(), 30.0, Some(9999.0)), 3);
+        assert_eq!(p.name(), "fixed");
+    }
+
+    #[test]
+    fn buffer_based_maps_buffer_to_ladder() {
+        let mut p = BufferBased::classic();
+        let s = spec();
+        assert_eq!(p.choose(&s, 0.0, None), 0, "empty buffer -> lowest");
+        assert_eq!(p.choose(&s, 5.0, None), 0, "reservoir edge -> lowest");
+        assert_eq!(p.choose(&s, 25.0, None), s.levels() - 1, "full cushion -> top");
+        let mid = p.choose(&s, 15.0, None);
+        assert!(mid > 0 && mid < s.levels() - 1, "middle buffer -> middle rung, got {mid}");
+        // Monotone in buffer.
+        let mut last = 0;
+        for b in [0.0, 6.0, 10.0, 14.0, 18.0, 22.0, 26.0] {
+            let q = p.choose(&s, b, None);
+            assert!(q >= last, "buffer-based must be monotone");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn rate_based_tracks_throughput() {
+        let mut p = RateBased::new(0.85);
+        let s = spec();
+        assert_eq!(p.choose(&s, 10.0, None), 0, "no estimate -> conservative");
+        // 5 Mbps: 0.85 * 5000 = 4250 -> rung 4 (2850), not 5 (4300).
+        assert_eq!(p.choose(&s, 10.0, Some(5000.0)), 4);
+        // Feed slow samples; the EWMA must come down: after one sample the
+        // estimate is 2700 (rung 3), after a second it is 1550 (rung 2 max).
+        let q1 = p.choose(&s, 10.0, Some(400.0));
+        assert!(q1 <= 3, "got {q1}");
+        let q2 = p.choose(&s, 10.0, Some(400.0));
+        assert!(q2 <= 2, "got {q2}");
+        assert!(q2 <= q1);
+    }
+
+    #[test]
+    fn hybrid_respects_watermarks() {
+        let s = spec();
+        let mut p = Hybrid::new(0.85);
+        let q_low = p.choose(&s, 2.0, Some(5000.0));
+        let mut p2 = Hybrid::new(0.85);
+        let q_mid = p2.choose(&s, 15.0, Some(5000.0));
+        let mut p3 = Hybrid::new(0.85);
+        let q_high = p3.choose(&s, 28.0, Some(5000.0));
+        assert!(q_low < q_mid, "low buffer demotes");
+        assert!(q_high >= q_mid, "high buffer promotes");
+        assert!(q_high <= s.levels() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety")]
+    fn bad_safety_panics() {
+        let _ = RateBased::new(0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! QoE metric extraction — the scenario vectors for comparative synthesis.
+
+use crate::player::PlaybackLog;
+use cso_numeric::Rat;
+use std::fmt;
+
+/// Quality-of-experience metrics of one playback session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QoeMetrics {
+    /// Average video bitrate in kbit/s.
+    pub avg_bitrate: f64,
+    /// Rebuffering ratio: stall time / (stall + play) time, in percent.
+    pub rebuffer_pct: f64,
+    /// Startup delay in seconds.
+    pub startup: f64,
+    /// Number of quality switches.
+    pub switches: usize,
+    /// Mean absolute ladder-step size across switches.
+    pub switch_magnitude: f64,
+}
+
+impl QoeMetrics {
+    /// Extract metrics from a playback log.
+    #[must_use]
+    pub fn of(log: &PlaybackLog) -> QoeMetrics {
+        let n = log.chunks.len().max(1) as f64;
+        let avg_bitrate = log
+            .chunks
+            .iter()
+            .map(|c| log.spec.bitrates_kbps[c.quality])
+            .sum::<f64>()
+            / n;
+        let stall: f64 = log.chunks.iter().map(|c| c.rebuffer).sum();
+        let play = log.spec.chunk_seconds * log.chunks.len() as f64;
+        let rebuffer_pct = if play + stall > 0.0 { 100.0 * stall / (play + stall) } else { 0.0 };
+        let mut switches = 0usize;
+        let mut magnitude = 0.0f64;
+        for w in log.chunks.windows(2) {
+            if w[0].quality != w[1].quality {
+                switches += 1;
+                magnitude += (w[0].quality as f64 - w[1].quality as f64).abs();
+            }
+        }
+        let switch_magnitude = if switches > 0 { magnitude / switches as f64 } else { 0.0 };
+        QoeMetrics { avg_bitrate, rebuffer_pct, startup: log.startup, switches, switch_magnitude }
+    }
+
+    /// The `(bitrate, rebuffer, switches)` triple for the built-in ABR QoE
+    /// sketch, as exact rationals (values rounded to 3 decimals first).
+    #[must_use]
+    pub fn sketch_triple(&self) -> [Rat; 3] {
+        let snap = |x: f64| Rat::from_frac((x * 1000.0).round() as i64, 1000);
+        [
+            snap(self.avg_bitrate),
+            snap(self.rebuffer_pct),
+            Rat::from_int(self.switches as i64),
+        ]
+    }
+}
+
+impl fmt::Display for QoeMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bitrate = {:.0} kbps, rebuffer = {:.2}%, startup = {:.2}s, switches = {} (avg step {:.2})",
+            self.avg_bitrate, self.rebuffer_pct, self.startup, self.switches, self.switch_magnitude
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::player::{Player, VideoSpec};
+    use crate::policies::{BufferBased, FixedQuality, RateBased};
+    use crate::trace::BandwidthTrace;
+
+    #[test]
+    fn fixed_policy_has_no_switches() {
+        let player = Player::new(VideoSpec::hd(20));
+        let trace = BandwidthTrace::constant(10_000.0, 600);
+        let log = player.simulate(&mut FixedQuality::new(3), &trace);
+        let q = QoeMetrics::of(&log);
+        assert_eq!(q.switches, 0);
+        assert_eq!(q.switch_magnitude, 0.0);
+        assert_eq!(q.avg_bitrate, 1850.0);
+        assert_eq!(q.rebuffer_pct, 0.0);
+    }
+
+    #[test]
+    fn overambitious_policy_shows_rebuffering() {
+        let player = Player::new(VideoSpec::hd(20));
+        let trace = BandwidthTrace::constant(800.0, 3000);
+        let log = player.simulate(&mut FixedQuality::new(5), &trace);
+        let q = QoeMetrics::of(&log);
+        assert!(q.rebuffer_pct > 10.0, "got {}", q.rebuffer_pct);
+    }
+
+    #[test]
+    fn adaptive_beats_fixed_top_on_variable_link() {
+        let player = Player::new(VideoSpec::hd(30));
+        let trace = BandwidthTrace::periodic(4000.0, 600.0, 20, 600);
+        let fixed_top = QoeMetrics::of(&player.simulate(&mut FixedQuality::new(5), &trace));
+        let adaptive = QoeMetrics::of(&player.simulate(&mut RateBased::new(0.85), &trace));
+        assert!(
+            adaptive.rebuffer_pct < fixed_top.rebuffer_pct,
+            "adaptive {} vs fixed {}",
+            adaptive.rebuffer_pct,
+            fixed_top.rebuffer_pct
+        );
+    }
+
+    #[test]
+    fn buffer_based_switches_on_variable_link() {
+        let player = Player::new(VideoSpec::hd(30));
+        let trace = BandwidthTrace::periodic(5000.0, 700.0, 16, 600);
+        let q = QoeMetrics::of(&player.simulate(&mut BufferBased::classic(), &trace));
+        assert!(q.switches > 0, "variable link should cause switches");
+    }
+
+    #[test]
+    fn sketch_triple_is_exact() {
+        let player = Player::new(VideoSpec::hd(10));
+        let trace = BandwidthTrace::constant(2000.0, 600);
+        let q = QoeMetrics::of(&player.simulate(&mut FixedQuality::new(2), &trace));
+        let t = q.sketch_triple();
+        assert_eq!(t[0], Rat::from_int(1200));
+        assert_eq!(t[1], Rat::zero());
+        assert_eq!(t[2], Rat::zero());
+    }
+}

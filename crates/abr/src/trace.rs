@@ -1,0 +1,182 @@
+//! Synthetic network bandwidth traces.
+//!
+//! Real ABR studies use throughput traces from production CDNs; those are
+//! proprietary, so we generate synthetic traces that exercise the same
+//! player dynamics: stable links, stepwise drops, periodic oscillation and
+//! random bursts (documented as a substitution in `DESIGN.md`).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A bandwidth trace: available throughput in kbit/s per 1-second slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthTrace {
+    kbps: Vec<f64>,
+}
+
+impl BandwidthTrace {
+    /// Build from raw per-second samples.
+    ///
+    /// # Panics
+    /// Panics if the trace is empty or contains non-positive samples.
+    #[must_use]
+    pub fn new(kbps: Vec<f64>) -> BandwidthTrace {
+        assert!(!kbps.is_empty(), "trace must be non-empty");
+        assert!(
+            kbps.iter().all(|&b| b.is_finite() && b > 0.0),
+            "trace samples must be positive"
+        );
+        BandwidthTrace { kbps }
+    }
+
+    /// Constant bandwidth.
+    #[must_use]
+    pub fn constant(kbps: f64, seconds: usize) -> BandwidthTrace {
+        BandwidthTrace::new(vec![kbps; seconds.max(1)])
+    }
+
+    /// Step from `hi` down to `lo` at `step_at` seconds.
+    #[must_use]
+    pub fn step(hi: f64, lo: f64, step_at: usize, seconds: usize) -> BandwidthTrace {
+        let v = (0..seconds.max(1))
+            .map(|t| if t < step_at { hi } else { lo })
+            .collect();
+        BandwidthTrace::new(v)
+    }
+
+    /// Square-wave oscillation between `hi` and `lo` with the given period.
+    #[must_use]
+    pub fn periodic(hi: f64, lo: f64, period: usize, seconds: usize) -> BandwidthTrace {
+        let p = period.max(2);
+        let v = (0..seconds.max(1))
+            .map(|t| if (t / (p / 2)) % 2 == 0 { hi } else { lo })
+            .collect();
+        BandwidthTrace::new(v)
+    }
+
+    /// Random-walk trace within `[lo, hi]` (deterministic per seed).
+    #[must_use]
+    pub fn bursty(lo: f64, hi: f64, seconds: usize, seed: u64) -> BandwidthTrace {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cur = (lo + hi) / 2.0;
+        let v = (0..seconds.max(1))
+            .map(|_| {
+                let swing = (hi - lo) * 0.25;
+                cur = (cur + rng.random_range(-swing..=swing)).clamp(lo, hi);
+                cur
+            })
+            .collect();
+        BandwidthTrace::new(v)
+    }
+
+    /// Bandwidth at second `t` (clamped to the final sample after the end).
+    #[must_use]
+    pub fn at(&self, t: f64) -> f64 {
+        let idx = (t.max(0.0) as usize).min(self.kbps.len() - 1);
+        self.kbps[idx]
+    }
+
+    /// Trace duration in seconds.
+    #[must_use]
+    pub fn duration(&self) -> usize {
+        self.kbps.len()
+    }
+
+    /// Mean bandwidth.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.kbps.iter().sum::<f64>() / self.kbps.len() as f64
+    }
+
+    /// Download time (seconds) for `bits` kilobits starting at time `start`,
+    /// integrating the trace second by second.
+    #[must_use]
+    pub fn download_time(&self, start: f64, kbits: f64) -> f64 {
+        let mut remaining = kbits;
+        let mut t = start;
+        // Integrate across at most 10x the trace to guarantee termination
+        // even for absurd chunk sizes (the tail clamps to the last sample).
+        let hard_stop = start + 10.0 * self.kbps.len() as f64 + 10.0;
+        while remaining > 0.0 && t < hard_stop {
+            let bw = self.at(t);
+            let slot_end = t.floor() + 1.0;
+            let dt = (slot_end - t).max(1e-9);
+            let can = bw * dt;
+            if can >= remaining {
+                return t + remaining / bw - start;
+            }
+            remaining -= can;
+            t = slot_end;
+        }
+        hard_stop - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace() {
+        let t = BandwidthTrace::constant(1000.0, 10);
+        assert_eq!(t.duration(), 10);
+        assert_eq!(t.at(0.0), 1000.0);
+        assert_eq!(t.at(99.0), 1000.0, "clamps past the end");
+        assert_eq!(t.mean(), 1000.0);
+    }
+
+    #[test]
+    fn step_trace() {
+        let t = BandwidthTrace::step(2000.0, 500.0, 5, 10);
+        assert_eq!(t.at(4.0), 2000.0);
+        assert_eq!(t.at(5.0), 500.0);
+    }
+
+    #[test]
+    fn periodic_trace_alternates() {
+        let t = BandwidthTrace::periodic(100.0, 50.0, 4, 8);
+        assert_eq!(t.at(0.0), 100.0);
+        assert_eq!(t.at(2.0), 50.0);
+        assert_eq!(t.at(4.0), 100.0);
+    }
+
+    #[test]
+    fn bursty_stays_in_bounds_and_deterministic() {
+        let a = BandwidthTrace::bursty(100.0, 1000.0, 50, 7);
+        let b = BandwidthTrace::bursty(100.0, 1000.0, 50, 7);
+        assert_eq!(a, b);
+        for t in 0..50 {
+            let bw = a.at(t as f64);
+            assert!((100.0..=1000.0).contains(&bw));
+        }
+    }
+
+    #[test]
+    fn download_time_constant() {
+        let t = BandwidthTrace::constant(1000.0, 100);
+        // 4000 kbits at 1000 kbps = 4 s.
+        assert!((t.download_time(0.0, 4000.0) - 4.0).abs() < 1e-9);
+        // Fractional start.
+        assert!((t.download_time(2.5, 500.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn download_time_across_step() {
+        let t = BandwidthTrace::step(1000.0, 500.0, 2, 100);
+        // 3000 kbits: 2 s at 1000 (2000 kbits) + 2 s at 500 (1000 kbits).
+        assert!((t.download_time(0.0, 3000.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_trace_panics() {
+        let _ = BandwidthTrace::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sample_panics() {
+        let _ = BandwidthTrace::new(vec![100.0, 0.0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Criterion benchmarks regenerating the paper's experiments.
+//!
+//! One benchmark group per table/figure. Criterion's statistics replace
+//! the paper's 9-run averages for the timing axes; the iteration-count
+//! axes are printed by the `repro` binary (`cargo run -p cso-bench --bin
+//! repro`). Sample counts are kept small because a full synthesis run is
+//! seconds, not microseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cso_numeric::Rat;
+use cso_sketch::swan::{swan_sketch, swan_target_with};
+use cso_synth::{GroundTruthOracle, MetricSpace, SynthConfig, Synthesizer};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn run_once(cfg: SynthConfig, target: (i64, i64, i64, i64)) -> usize {
+    let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg)
+        .expect("sketch matches space");
+    let mut oracle =
+        GroundTruthOracle::new(swan_target_with(target.0, target.1, target.2, target.3));
+    let result = synth.run(&mut oracle).expect("consistent oracle");
+    result.stats.iterations()
+}
+
+/// Benchmark configuration: coarser than `fast_test` so one end-to-end
+/// synthesis lands in the low seconds — Criterion needs ≥ 10 samples per
+/// point and this suite has a dozen points.
+fn bench_cfg(seed: u64) -> SynthConfig {
+    let mut cfg = SynthConfig::fast_test();
+    cfg.delta_rel = 0.06;
+    cfg.margin = Rat::from_int(15);
+    cfg.solver.max_boxes = 8_000;
+    cfg.max_iterations = 40;
+    cfg.seed = seed;
+    cfg
+}
+
+fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(12));
+}
+
+/// Table 1: the baseline configuration, end to end.
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    tune(&mut g);
+    g.bench_function("baseline_synthesis", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_once(bench_cfg(1000 + seed), (1, 50, 1, 5)))
+        });
+    });
+    g.finish();
+}
+
+/// Figure 3: one representative variant per tuned hole (full sweep in the
+/// repro binary; benching all 20 would take too long under Criterion).
+fn fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_target_variants");
+    tune(&mut g);
+    let variants: [(&str, (i64, i64, i64, i64)); 3] = [
+        ("baseline", (1, 50, 1, 5)),
+        ("l_thrsh=80", (1, 80, 1, 5)),
+        ("slope2=2", (1, 50, 1, 2)),
+    ];
+    for (name, target) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &target, |b, &t| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(bench_cfg(2000 + seed), t))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 4: pairs ranked per iteration.
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_pairs_per_iteration");
+    tune(&mut g);
+    for pairs in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(pairs), &pairs, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = bench_cfg(3000 + seed);
+                cfg.pairs_per_iteration = p;
+                black_box(run_once(cfg, (1, 50, 1, 5)))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: initial random scenarios.
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_initial_scenarios");
+    tune(&mut g);
+    for init in [0usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(init), &init, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = bench_cfg(4000 + seed);
+                cfg.initial_scenarios = n;
+                black_box(run_once(cfg, (1, 50, 1, 5)))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: solver seeding on/off (DESIGN.md §5, choice 1).
+fn ablation_seeding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_seeding");
+    tune(&mut g);
+    for (name, seeding) in [("on", true), ("off", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &seeding, |b, &s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = bench_cfg(5000 + seed);
+                cfg.solver.use_seeding = s;
+                black_box(run_once(cfg, (1, 50, 1, 5)))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(experiments, table1, fig3, fig4, fig5, ablation_seeding);
+criterion_main!(experiments);

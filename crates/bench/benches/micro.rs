@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the substrates: the costs that make up one
+//! synthesis iteration, plus the network-substrate primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cso_logic::solver::{Solver, SolverConfig};
+use cso_logic::{eval::eval_term, ieval::ieval_term, BoxDomain, Term, VarRegistry};
+use cso_lp::LpProblem;
+use cso_netsim::alloc::{Allocator, Instance};
+use cso_netsim::{FlowSpec, Topology, TrafficClass};
+use cso_numeric::{BigInt, Interval, Rat};
+use cso_sketch::swan::{swan_sketch, swan_target};
+use std::hint::black_box;
+
+fn numeric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("numeric");
+    let a: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
+    let b: BigInt = "987654321098765432109876543210".parse().unwrap();
+    g.bench_function("bigint_mul", |bch| bch.iter(|| black_box(&a) * black_box(&b)));
+    g.bench_function("bigint_divrem", |bch| {
+        bch.iter(|| black_box(&a).div_rem(black_box(&b)))
+    });
+    g.bench_function("bigint_gcd", |bch| bch.iter(|| black_box(&a).gcd(black_box(&b))));
+    let x = Rat::from_frac(355, 113);
+    let y = Rat::from_frac(-104348, 33215);
+    g.bench_function("rat_add", |bch| bch.iter(|| black_box(&x) + black_box(&y)));
+    g.bench_function("rat_mul", |bch| bch.iter(|| black_box(&x) * black_box(&y)));
+    g.finish();
+}
+
+fn logic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logic");
+    // The lowered SWAN objective: the term evaluated in every solver box.
+    let target = swan_target();
+    let mut vars = VarRegistry::new();
+    let t = vars.intern("t");
+    let l = vars.intern("l");
+    let term = target.lower(&[Term::var(t), Term::var(l)]);
+    let env = [Rat::from_int(3), Rat::from_int(42)];
+    g.bench_function("exact_eval_swan_term", |bch| {
+        bch.iter(|| eval_term(black_box(&term), black_box(&env)).unwrap())
+    });
+    let mut dom = BoxDomain::new(&vars);
+    dom.set(t, Interval::new(0.0, 10.0));
+    dom.set(l, Interval::new(0.0, 200.0));
+    g.bench_function("interval_eval_swan_term", |bch| {
+        bch.iter(|| ieval_term(black_box(&term), black_box(&dom)))
+    });
+    // A representative nonlinear solve.
+    let f = cso_logic::Formula::and(vec![
+        Term::var(t).mul(Term::var(l)).ge(Term::int(500)),
+        Term::var(t).add(Term::var(l)).le(Term::int(100)),
+    ]);
+    g.bench_function("solver_sat_nonlinear", |bch| {
+        bch.iter(|| {
+            let mut s = Solver::new(SolverConfig::default());
+            black_box(s.solve(&f, &dom))
+        })
+    });
+    g.finish();
+}
+
+fn lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp");
+    for n in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("simplex_dense", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut lp = LpProblem::maximize(n);
+                for i in 0..n {
+                    lp.set_objective_coeff(i, Rat::from_int(1 + (i as i64 % 3)));
+                }
+                for i in 0..n {
+                    let coeffs: Vec<(usize, Rat)> = (0..n)
+                        .map(|j| (j, Rat::from_int(((i + j) % 4 + 1) as i64)))
+                        .collect();
+                    lp.add_le(coeffs, Rat::from_int(50));
+                }
+                black_box(lp.solve())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(20);
+    let topo = Topology::wan5();
+    let ny = topo.node("NY").unwrap();
+    let sf = topo.node("SF").unwrap();
+    let sea = topo.node("SEA").unwrap();
+    let flows = vec![
+        FlowSpec::new(ny, sf, Rat::from_int(6), TrafficClass::Interactive),
+        FlowSpec::new(ny, sea, Rat::from_int(5), TrafficClass::Elastic),
+        FlowSpec::new(sea, sf, Rat::from_int(4), TrafficClass::Background),
+    ];
+    let inst = Instance::build(topo, flows, 3);
+    g.bench_function("max_throughput_wan5", |bch| {
+        bch.iter(|| black_box(Allocator::MaxThroughput.allocate(&inst).unwrap()))
+    });
+    g.bench_function("max_min_fair_wan5", |bch| {
+        bch.iter(|| black_box(Allocator::MaxMinFair.allocate(&inst).unwrap()))
+    });
+    g.bench_function("swan_epsilon_wan5", |bch| {
+        bch.iter(|| {
+            black_box(
+                Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 100) }
+                    .allocate(&inst)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn sketch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch");
+    g.bench_function("parse_swan", |bch| {
+        bch.iter(|| black_box(swan_sketch()))
+    });
+    let target = swan_target();
+    let env = [Rat::from_int(2), Rat::from_int(10)];
+    g.bench_function("eval_completed", |bch| {
+        bch.iter(|| black_box(target.eval(&env).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(micro, numeric, logic, lp, netsim, sketch);
+criterion_main!(micro);

@@ -1,0 +1,42 @@
+//! One synthesis run at a chosen fidelity, for calibrating the experiment
+//! profiles. Usage: `probe [seed] [--paper]`.
+use cso_numeric::Rat;
+use cso_sketch::swan::{swan_sketch, swan_target};
+use cso_synth::verify::preference_agreement;
+use cso_synth::{GroundTruthOracle, MetricSpace, SynthConfig, Synthesizer};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(1);
+    let paper = args.iter().any(|a| a == "--paper");
+    let mut cfg = if paper {
+        let mut c = SynthConfig::default();
+        c.solver.max_boxes = 120_000;
+        c
+    } else {
+        SynthConfig::fast_test()
+    };
+    cfg.seed = seed;
+    let t0 = std::time::Instant::now();
+    let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).unwrap();
+    let mut oracle = GroundTruthOracle::new(swan_target());
+    let r = synth.run(&mut oracle).unwrap();
+    println!(
+        "iters={} total={:.2}s per_iter={:.3}s outcome={:?}",
+        r.stats.iterations(),
+        r.stats.total_secs(),
+        r.stats.avg_iteration_secs(),
+        r.outcome
+    );
+    println!("objective: {}", r.objective);
+    let agreement = preference_agreement(
+        &r.objective,
+        &swan_target(),
+        &MetricSpace::swan(),
+        2000,
+        99,
+        &Rat::from_int(20),
+    );
+    println!("agreement: {agreement:.4}");
+    println!("wall: {:.2}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,30 @@
+//! Reproduction harness for the paper's evaluation (§4.3).
+//!
+//! Each experiment mirrors one table or figure:
+//!
+//! * [`table1`] — Table 1: iterations, time/iteration, total time over N
+//!   runs of the baseline configuration (5 initial scenarios, 1 pair per
+//!   iteration), reported as average / median / SIQR.
+//! * [`fig3`] — Figure 3: tune each hole of the target separately
+//!   (`tp_thrsh`, `slope1`, `slope2` ∈ {1..5}; `l_thrsh` ∈ {20, 35, 50,
+//!   65, 80}); report avg iterations and avg time/iteration per variant.
+//! * [`fig4`] — Figure 4: pairs of scenarios ranked per iteration ∈ {1..5}.
+//! * [`fig5`] — Figure 5: initial random scenarios ∈ {0, 2, 5, 7, 10}.
+//! * [`ablation`] — our design-choice ablations: solver seeding on/off,
+//!   indifference handling, noise repair.
+//!
+//! Runs are deterministic per seed; independent runs are distributed over
+//! `crossbeam` scoped threads (which degrades gracefully to sequential on
+//! a single-core host).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    ablation, fig3, fig4, fig5, table1, AblationRow, ExperimentProfile, Fig3Row, Fig4Row,
+    Fig5Row, RunOutcome, Table1Result,
+};
+pub use report::{render_ablation, render_fig3, render_fig4, render_fig5, render_table1};

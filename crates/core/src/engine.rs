@@ -1,0 +1,745 @@
+//! The interactive comparative-synthesis loop (paper §4.2, Figure 1).
+
+use crate::config::SynthConfig;
+use crate::oracle::{Oracle, Ranking};
+use crate::query::QueryBuilder;
+use crate::scenario::{MetricSpace, Scenario};
+use crate::stats::{IterationRecord, SynthStats};
+use cso_logic::solver::{Outcome, Solver, SolverConfig};
+use cso_logic::Model;
+use cso_prefgraph::{PrefGraph, ScenarioId};
+use cso_sketch::{CompletedObjective, Sketch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// How a synthesis run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthOutcome {
+    /// The disambiguation query became (δ-)unsatisfiable: every candidate
+    /// consistent with the preferences is margin-equivalent to the result.
+    Converged,
+    /// Repeated solver exhaustion: no distinguishing pair could be found
+    /// within budget. The result is the best known candidate.
+    ConvergedBudget,
+    /// The iteration cap was reached first.
+    IterationLimit,
+}
+
+/// A successful synthesis run: the learnt objective plus statistics.
+#[derive(Debug, Clone)]
+pub struct SynthResult {
+    /// The learnt objective function.
+    pub objective: CompletedObjective,
+    /// Why the loop stopped.
+    pub outcome: SynthOutcome,
+    /// Timing and interaction statistics.
+    pub stats: SynthStats,
+}
+
+/// Synthesis failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// Sketch parameters do not match the metric space.
+    SpaceMismatch {
+        /// Sketch parameter count.
+        sketch_params: usize,
+        /// Metric space dimension count.
+        space_dims: usize,
+    },
+    /// No hole assignment satisfies the recorded preferences: either the
+    /// sketch cannot express the user's intent or the answers are noisy
+    /// (enable `repair_noise` for the latter).
+    NoViableCandidate,
+    /// The oracle produced contradictory preferences and repair is
+    /// disabled.
+    InconsistentPreferences,
+    /// The oracle returned a ranking that does not cover the query.
+    InvalidRanking,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::SpaceMismatch { sketch_params, space_dims } => write!(
+                f,
+                "sketch takes {sketch_params} metrics but the space has {space_dims}"
+            ),
+            SynthError::NoViableCandidate => {
+                write!(f, "no hole assignment satisfies the recorded preferences")
+            }
+            SynthError::InconsistentPreferences => {
+                write!(f, "oracle answers are contradictory and repair is disabled")
+            }
+            SynthError::InvalidRanking => write!(f, "oracle ranking does not cover the query"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Cap on the candidate seed pool.
+const POOL_CAP: usize = 4;
+
+/// Diagnostic trace, enabled by setting `CSO_SYNTH_TRACE=1`. Goes to
+/// stderr; intended for debugging synthesis behaviour, not for parsing.
+fn trace(args: std::fmt::Arguments<'_>) {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    let on = *ENABLED.get_or_init(|| std::env::var_os("CSO_SYNTH_TRACE").is_some());
+    if on {
+        eprintln!("[synth] {args}");
+    }
+}
+
+/// Result of one distinguishing-pair search.
+enum PairSearch {
+    /// A pair was found. Carries the second candidate's hole values to
+    /// seed the next feasibility search.
+    Found {
+        pair: (Scenario, Scenario),
+        from_seeding: bool,
+        fb_holes: Vec<cso_numeric::Rat>,
+    },
+    /// Proven (δ-)unsatisfiable: candidates are margin-equivalent.
+    Converged,
+    /// Budget ran out without a decision.
+    Exhausted,
+}
+
+/// The comparative synthesizer.
+#[derive(Debug)]
+pub struct Synthesizer {
+    sketch: Sketch,
+    cfg: SynthConfig,
+    qb: QueryBuilder,
+    graph: PrefGraph<Scenario>,
+    vertex_of: HashMap<Scenario, ScenarioId>,
+    rng: StdRng,
+    space: MetricSpace,
+    /// Pool of hole assignments that satisfied some recent feasibility
+    /// query; used to seed later searches (most recent first, bounded).
+    pool: Vec<Vec<cso_numeric::Rat>>,
+    /// Statistics of the current/last run.
+    pub stats: SynthStats,
+}
+
+impl Synthesizer {
+    /// Set up a synthesizer for `sketch` over `space`.
+    ///
+    /// # Errors
+    /// Returns [`SynthError::SpaceMismatch`] if the sketch arity differs
+    /// from the space dimension count.
+    pub fn new(
+        sketch: Sketch,
+        space: MetricSpace,
+        cfg: SynthConfig,
+    ) -> Result<Synthesizer, SynthError> {
+        if sketch.params().len() != space.dims() {
+            return Err(SynthError::SpaceMismatch {
+                sketch_params: sketch.params().len(),
+                space_dims: space.dims(),
+            });
+        }
+        let qb = QueryBuilder::new(sketch.clone(), space.clone(), &cfg);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Ok(Synthesizer {
+            sketch,
+            cfg,
+            qb,
+            graph: PrefGraph::new(),
+            vertex_of: HashMap::new(),
+            rng,
+            space,
+            pool: Vec::new(),
+            stats: SynthStats::default(),
+        })
+    }
+
+    /// Install an extra viability constraint over hole variables (the
+    /// paper's `Viable(f)`; SWAN needs none).
+    pub fn set_viability(&mut self, f: cso_logic::Formula) {
+        self.qb.set_viability(f);
+    }
+
+    /// Read-only view of the preference graph built so far.
+    #[must_use]
+    pub fn graph(&self) -> &PrefGraph<Scenario> {
+        &self.graph
+    }
+
+    fn make_solver(&self, seed_salt: u64) -> Solver {
+        self.make_solver_scaled(seed_salt, 1.0, 1.0)
+    }
+
+    /// A solver with δ scaled by `delta_factor` and the box budget scaled
+    /// by `budget_factor`. Fast-path sub-queries are low-dimensional, so
+    /// they run on a fraction of the budget; the joint convergence proof
+    /// gets the full budget.
+    fn make_solver_scaled(&self, seed_salt: u64, delta_factor: f64, budget_factor: f64) -> Solver {
+        let mut sc: SolverConfig = self.cfg.solver.clone();
+        let deltas: Vec<f64> =
+            self.qb.deltas(self.cfg.delta_rel).into_iter().map(|d| d * delta_factor).collect();
+        sc.delta_per_dim = Some(deltas);
+        sc.max_boxes = ((sc.max_boxes as f64 * budget_factor) as usize).max(1_000);
+        sc.seed = self.cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed_salt);
+        Solver::new(sc)
+    }
+
+    /// All coordinate-wise combinations of the hole vectors appearing in
+    /// `seeds`, capped to keep the certification cost bounded.
+    fn coordinate_combinations(&self, seeds: &[Model]) -> Vec<Model> {
+        const CAP: usize = 1024;
+        let holes: Vec<Vec<cso_numeric::Rat>> =
+            seeds.iter().map(|m| self.qb.model_holes(m)).collect();
+        if holes.len() < 2 {
+            return Vec::new();
+        }
+        let n = self.qb.hole_ids().len();
+        let mut combos: Vec<Vec<cso_numeric::Rat>> = vec![Vec::new()];
+        for d in 0..n {
+            let mut next = Vec::new();
+            for c in &combos {
+                for h in &holes {
+                    if next.len() + combos.len() > CAP {
+                        break;
+                    }
+                    let mut c2 = c.clone();
+                    c2.push(h[d].clone());
+                    next.push(c2);
+                }
+            }
+            combos = next;
+            if combos.len() >= CAP {
+                combos.truncate(CAP);
+            }
+        }
+        let mut out: Vec<Vec<cso_numeric::Rat>> = Vec::new();
+        for c in combos {
+            if !holes.contains(&c) && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out.into_iter().map(|c| self.qb.seed_from_holes(&c)).collect()
+    }
+
+    fn remember_candidate(&mut self, holes: &[cso_numeric::Rat]) {
+        if self.pool.first().map(Vec::as_slice) != Some(holes) {
+            self.pool.insert(0, holes.to_vec());
+            self.pool.truncate(POOL_CAP);
+        }
+    }
+
+    fn pool_seeds(&self) -> Vec<Model> {
+        self.pool.iter().map(|h| self.qb.seed_from_holes(h)).collect()
+    }
+
+    fn intern_scenario(&mut self, s: &Scenario) -> ScenarioId {
+        if let Some(&id) = self.vertex_of.get(s) {
+            return id;
+        }
+        let id = self.graph.add_scenario(s.clone());
+        self.vertex_of.insert(s.clone(), id);
+        id
+    }
+
+    /// Record a ranking over `scenarios` into the preference graph.
+    fn record_ranking(
+        &mut self,
+        scenarios: &[Scenario],
+        ranking: &Ranking,
+    ) -> Result<(), SynthError> {
+        // Validate coverage.
+        let mut seen = vec![false; scenarios.len()];
+        for g in &ranking.groups {
+            for &i in g {
+                if i >= scenarios.len() || seen[i] {
+                    return Err(SynthError::InvalidRanking);
+                }
+                seen[i] = true;
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(SynthError::InvalidRanking);
+        }
+
+        let ids: Vec<Vec<ScenarioId>> = ranking
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|&i| self.intern_scenario(&scenarios[i])).collect())
+            .collect();
+
+        // Ties within a group.
+        for group in &ids {
+            for w in group.windows(2) {
+                if w[0] != w[1] && !self.graph.indifferent(w[0], w[1]) {
+                    if self.graph.mark_indifferent(w[0], w[1]).is_err()
+                        && !self.cfg.repair_noise
+                    {
+                        return Err(SynthError::InconsistentPreferences);
+                    }
+                }
+            }
+        }
+        // Strict edges between adjacent groups.
+        for w in ids.windows(2) {
+            for &hi in &w[0] {
+                for &lo in &w[1] {
+                    if hi == lo || self.graph.indifferent(hi, lo) {
+                        continue;
+                    }
+                    if self.cfg.repair_noise {
+                        self.graph.prefer_unchecked(hi, lo, 0.9);
+                        self.stats.edges_recorded += 1;
+                    } else {
+                        match self.graph.prefer(hi, lo) {
+                            Ok(_) => self.stats.edges_recorded += 1,
+                            Err(_) => return Err(SynthError::InconsistentPreferences),
+                        }
+                    }
+                }
+            }
+        }
+        if self.cfg.repair_noise {
+            let removed = cso_prefgraph::noise::repair(&mut self.graph);
+            self.stats.edges_repaired += removed.len();
+        }
+        Ok(())
+    }
+
+    /// Find a candidate consistent with the preference graph.
+    ///
+    /// Seeded with the previous iteration's candidate *and* the previous
+    /// second candidate: whichever side the oracle took, one of the two
+    /// still satisfies every recorded preference, so the search is O(1)
+    /// in the common case.
+    fn find_candidate(
+        &mut self,
+        seeds: &[Model],
+        salt: u64,
+    ) -> Result<CompletedObjective, SynthError> {
+        let feas = self.qb.feasibility(&self.graph);
+        // First try at the normal budget, then escalate: a feasibility
+        // search only gets hard when every seed was just invalidated
+        // (multi-pair iterations can do that), which is exactly when it is
+        // worth spending more. On retries, also seed with coordinate-wise
+        // combinations of the candidates: each answered pair typically
+        // constrains different holes, so the point taking "the right"
+        // coordinate from each candidate is often feasible even when no
+        // single candidate is.
+        let combo_seeds = self.coordinate_combinations(seeds);
+        for (i, budget) in [1.0, 4.0, 16.0].into_iter().enumerate() {
+            let mut all_seeds: Vec<Model> = seeds.to_vec();
+            if i > 0 {
+                all_seeds.extend(combo_seeds.iter().cloned());
+            }
+            let mut solver = self.make_solver_scaled(salt + i as u64 * 7919, 1.0, budget);
+            match solver.solve_seeded(&feas, &self.qb.domain(), &all_seeds) {
+                Outcome::Sat(m) => {
+                    let holes = self.qb.model_holes(&m);
+                    return self
+                        .sketch
+                        .complete(holes)
+                        .map_err(|_| SynthError::NoViableCandidate);
+                }
+                Outcome::Unsat => return Err(SynthError::NoViableCandidate),
+                Outcome::DeltaUnsat | Outcome::Exhausted => {
+                    trace(format_args!("feasibility search retry (budget x{budget})"));
+                }
+            }
+        }
+        Err(SynthError::NoViableCandidate)
+    }
+
+    /// Search for one distinguishing scenario pair against candidate `fa`.
+    ///
+    /// Fast path (§4.2, decomposed): find a second consistent candidate
+    /// `fb` that differs from `fa` in hole space (4-dim query), then find
+    /// scenarios the two frozen candidates disagree on (4-dim query). The
+    /// joint 8-dim symbolic query is used only when the fast path dries
+    /// up, because only its unsatisfiability proves convergence.
+    fn find_pair(
+        &mut self,
+        fa: &CompletedObjective,
+        exclusions: &[(Scenario, Scenario)],
+        extra_seeds: &[Model],
+        salt: u64,
+    ) -> PairSearch {
+        let feas = self.qb.feasibility(&self.graph);
+        let mut fast_path_dry = true;
+        // Probe every hole at a large separation, then sweep again at
+        // smaller separations: large separations produce wide disagreement
+        // regions that sampling finds instantly, and per-hole restriction
+        // stops the search from repeatedly moving only the easiest hole.
+        let n_holes = self.qb.hole_ids().len().max(1);
+        let attempts = self.cfg.disamb_attempts.max(2 * n_holes);
+        for attempt in 0..attempts {
+            let hole = attempt % n_holes;
+            let round = (attempt / n_holes) as i32;
+            let sep_rel = (0.2 * 0.5f64.powi(round)).max(self.cfg.delta_rel);
+            trace(format_args!("fb search: hole {hole} sep_rel {sep_rel:.4}"));
+            let fb_q = cso_logic::Formula::and(vec![
+                feas.clone(),
+                self.qb.holes_differ_from_masked(fa.hole_values(), sep_rel, Some(hole)),
+            ]);
+            // Seed with fa shifted by ±sep on the probed hole: fa satisfies
+            // every preference, so a small shift is usually still feasible
+            // and satisfies the differs-constraint by construction.
+            let mut seeds = Vec::with_capacity(extra_seeds.len() + 2);
+            for sign in [1i64, -1] {
+                let mut shifted = fa.hole_values().to_vec();
+                let (lo, hi) = self.qb.hole_bounds(hole);
+                let width = &hi - &lo;
+                let sep = &width * &cso_numeric::Rat::from_f64(sep_rel * 1.05)
+                    .unwrap_or_else(cso_numeric::Rat::zero);
+                shifted[hole] =
+                    (&shifted[hole] + &(&sep * &cso_numeric::Rat::from_int(sign)))
+                        .clamp(&lo, &hi);
+                seeds.push(self.qb.seed_from_holes(&shifted));
+            }
+            seeds.extend(extra_seeds.iter().cloned());
+            let mut solver =
+                self.make_solver_scaled(salt * 1009 + attempt as u64 * 17 + 1, 1.0, 0.25);
+            let fb = match solver.solve_seeded(&fb_q, &self.qb.domain(), &seeds) {
+                Outcome::Sat(m) => {
+                    fast_path_dry = false;
+                    match self.sketch.complete(self.qb.model_holes(&m)) {
+                        Ok(fb) => fb,
+                        Err(_) => break,
+                    }
+                }
+                // No candidate this far away: try a smaller separation.
+                Outcome::Unsat | Outcome::DeltaUnsat => {
+                    trace(format_args!("fb search: hole {hole} unsat"));
+                    continue;
+                }
+                Outcome::Exhausted => {
+                    trace(format_args!("fb search: hole {hole} exhausted"));
+                    fast_path_dry = false;
+                    continue;
+                }
+            };
+            trace(format_args!("fb found: {fb}"));
+            // 2. Scenarios the frozen pair disagrees on.
+            let sq = self.qb.scenario_disagreement(fa, &fb, exclusions);
+            let mut solver2 =
+                self.make_solver_scaled(salt * 2027 + attempt as u64 * 29 + 2, 1.0, 0.25);
+            match solver2.solve(&sq, &self.qb.domain()) {
+                Outcome::Sat(m) => {
+                    let pair = self.qb.model_pair(&m);
+                    trace(format_args!("pair found: {} vs {}", pair.0, pair.1));
+                    let from_seeding = solver2.stats.sat_from_seeding;
+                    return PairSearch::Found {
+                        pair,
+                        from_seeding,
+                        fb_holes: fb.hole_values().to_vec(),
+                    };
+                }
+                // This fb happens to agree with fa everywhere; try another.
+                other => {
+                    trace(format_args!("scenario query failed: {other:?}"));
+                    continue;
+                }
+            }
+        }
+
+        // Joint symbolic query: SAT gives a pair; δ-UNSAT proves
+        // convergence. Run at a coarser δ — the fast path has already
+        // failed, so this is primarily a proof obligation.
+        trace(format_args!("fast path dry; running joint proof"));
+        let q = self.qb.disambiguation(&self.graph, fa, exclusions);
+        let mut solver =
+            self.make_solver_scaled(salt * 31 + 3, self.cfg.proof_delta_factor, 1.0);
+        match solver.solve(&q, &self.qb.domain()) {
+            Outcome::Sat(m) => {
+                let pair = self.qb.model_pair(&m);
+                let from_seeding = solver.stats.sat_from_seeding;
+                let fb_holes = self.qb.model_holes(&m);
+                PairSearch::Found { pair, from_seeding, fb_holes }
+            }
+            Outcome::Unsat | Outcome::DeltaUnsat => PairSearch::Converged,
+            Outcome::Exhausted => {
+                if fast_path_dry {
+                    // Candidates cluster around fa and the proof ran out of
+                    // budget: treat as budget-convergence evidence.
+                    PairSearch::Exhausted
+                } else {
+                    PairSearch::Exhausted
+                }
+            }
+        }
+    }
+
+    /// Run the interactive loop against `oracle`.
+    ///
+    /// # Errors
+    /// See [`SynthError`].
+    pub fn run(&mut self, oracle: &mut dyn Oracle) -> Result<SynthResult, SynthError> {
+        self.stats = SynthStats::default();
+        let run_start = Instant::now();
+
+        // Step 1: initial random scenarios (paper: 5 by default).
+        if self.cfg.initial_scenarios > 0 {
+            let t0 = Instant::now();
+            let mut initial = Vec::new();
+            while initial.len() < self.cfg.initial_scenarios {
+                let s = self.space.sample(&mut self.rng);
+                if !initial.contains(&s) {
+                    initial.push(s);
+                }
+            }
+            self.stats.init_time = t0.elapsed();
+            let ranking = oracle.rank(&initial);
+            self.record_ranking(&initial, &ranking)?;
+        }
+
+        let mut feas_seeds: Vec<Model> = Vec::new();
+        let mut exhausted_streak = 0usize;
+        let mut outcome = SynthOutcome::IterationLimit;
+        let mut candidate: Option<CompletedObjective> = None;
+
+        for iter in 1..=self.cfg.max_iterations {
+            let t0 = Instant::now();
+
+            // Current candidate fa.
+            let mut all_seeds = feas_seeds.clone();
+            all_seeds.extend(self.pool_seeds());
+            let fa = self.find_candidate(&all_seeds, iter as u64)?;
+            trace(format_args!("iter {iter}: fa = {fa}"));
+            self.remember_candidate(fa.hole_values());
+            feas_seeds.clear();
+            feas_seeds.push(self.qb.seed_from_holes(fa.hole_values()));
+            candidate = Some(fa.clone());
+
+            // Generate up to `pairs_per_iteration` distinguishing pairs.
+            let mut pairs: Vec<(Scenario, Scenario)> = Vec::new();
+            let mut converged = false;
+            let mut sat_from_seeding = false;
+            for k in 0..self.cfg.pairs_per_iteration {
+                match self.find_pair(&fa, &pairs, &feas_seeds, iter as u64 * 131 + k as u64) {
+                    PairSearch::Found { pair, from_seeding, fb_holes } => {
+                        sat_from_seeding |= from_seeding;
+                        self.remember_candidate(&fb_holes);
+                        pairs.push(pair);
+                        // The second candidate's holes seed the next
+                        // feasibility search: whichever way the oracle
+                        // answers, fa or fb stays feasible.
+                        feas_seeds.push(self.qb.seed_from_holes(&fb_holes));
+                        exhausted_streak = 0;
+                    }
+                    PairSearch::Converged => {
+                        if k == 0 {
+                            converged = true;
+                        }
+                        break;
+                    }
+                    PairSearch::Exhausted => {
+                        if k == 0 {
+                            exhausted_streak += 1;
+                        }
+                        break;
+                    }
+                }
+            }
+
+            if converged {
+                // The final (unsatisfiable) check is synthesis work but not
+                // an interaction; fold its time into the total only.
+                self.stats.total_time = run_start.elapsed();
+                outcome = SynthOutcome::Converged;
+                break;
+            }
+            if pairs.is_empty() {
+                if exhausted_streak >= self.cfg.max_exhausted_streak {
+                    self.stats.total_time = run_start.elapsed();
+                    outcome = SynthOutcome::ConvergedBudget;
+                    break;
+                }
+                continue;
+            }
+
+            let synthesis_time = t0.elapsed();
+
+            // Interaction: have the oracle rank each pair.
+            let mut asked = 0;
+            for (s1, s2) in &pairs {
+                let query = vec![s1.clone(), s2.clone()];
+                let ranking = oracle.rank(&query);
+                asked += 2;
+                self.record_ranking(&query, &ranking)?;
+            }
+
+            self.stats.records.push(IterationRecord {
+                index: iter,
+                synthesis_time,
+                scenarios_asked: asked,
+                sat_from_seeding,
+            });
+        }
+
+        if self.stats.total_time.is_zero() {
+            self.stats.total_time = run_start.elapsed();
+        }
+        let objective = match candidate {
+            Some(c) => c,
+            None => self.find_candidate(&[], 0)?,
+        };
+        Ok(SynthResult { objective, outcome, stats: self.stats.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{GroundTruthOracle, LoggingOracle, NoisyOracle};
+    use crate::verify::preference_agreement;
+    use cso_numeric::Rat;
+    use cso_sketch::swan::{swan_sketch, swan_target, swan_target_with};
+
+    fn fast_cfg(seed: u64) -> SynthConfig {
+        let mut cfg = SynthConfig::fast_test();
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn space_mismatch_rejected() {
+        let bad_space = MetricSpace::new(vec![("only_one", Rat::zero(), Rat::one())]);
+        let err = Synthesizer::new(swan_sketch(), bad_space, SynthConfig::default()).unwrap_err();
+        assert!(matches!(err, SynthError::SpaceMismatch { sketch_params: 2, space_dims: 1 }));
+    }
+
+    #[test]
+    fn synthesizes_swan_objective() {
+        let mut synth =
+            Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(42)).unwrap();
+        let mut oracle = LoggingOracle::new(GroundTruthOracle::new(swan_target()));
+        let result = synth.run(&mut oracle).unwrap();
+        assert!(
+            matches!(result.outcome, SynthOutcome::Converged | SynthOutcome::ConvergedBudget),
+            "got {:?}",
+            result.outcome
+        );
+        assert!(result.stats.iterations() >= 1);
+        assert_eq!(oracle.interactions, result.stats.iterations() + 1); // +1 initial
+        // The learnt objective must agree with the target on scenario pairs
+        // the target separates clearly.
+        let agreement = preference_agreement(
+            &result.objective,
+            &swan_target(),
+            &MetricSpace::swan(),
+            400,
+            7,
+            &Rat::from_int(20),
+        );
+        assert!(agreement > 0.93, "agreement only {agreement}");
+    }
+
+    #[test]
+    fn zero_initial_scenarios_still_works() {
+        let mut cfg = fast_cfg(3);
+        cfg.initial_scenarios = 0;
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).unwrap();
+        let mut oracle = GroundTruthOracle::new(swan_target());
+        let result = synth.run(&mut oracle).unwrap();
+        assert!(result.stats.iterations() >= 1);
+    }
+
+    #[test]
+    fn multiple_pairs_per_iteration_reduce_interactions() {
+        let mut iters_one = Vec::new();
+        let mut iters_two = Vec::new();
+        for seed in [11u64, 13] {
+            let mut cfg = fast_cfg(seed);
+            cfg.pairs_per_iteration = 1;
+            let mut s1 = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).unwrap();
+            let r1 = s1.run(&mut GroundTruthOracle::new(swan_target())).unwrap();
+            iters_one.push(r1.stats.iterations() as f64);
+
+            let mut cfg2 = fast_cfg(seed);
+            cfg2.pairs_per_iteration = 2;
+            let mut s2 = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg2).unwrap();
+            let r2 = s2.run(&mut GroundTruthOracle::new(swan_target())).unwrap();
+            iters_two.push(r2.stats.iterations() as f64);
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&iters_two) <= avg(&iters_one) + 1.0,
+            "2 pairs/iter should not need more interactions: {:?} vs {:?}",
+            iters_two,
+            iters_one
+        );
+    }
+
+    #[test]
+    fn different_targets_synthesized() {
+        // A Figure 3-style variant: different threshold and slopes.
+        let target = swan_target_with(3, 80, 2, 4);
+        let mut synth =
+            Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(21)).unwrap();
+        let mut oracle = GroundTruthOracle::new(target.clone());
+        let result = synth.run(&mut oracle).unwrap();
+        let agreement = preference_agreement(
+            &result.objective,
+            &target,
+            &MetricSpace::swan(),
+            400,
+            9,
+            &Rat::from_int(20),
+        );
+        assert!(agreement > 0.9, "agreement only {agreement}");
+    }
+
+    #[test]
+    fn noisy_oracle_without_repair_errors_eventually_or_converges() {
+        let mut cfg = fast_cfg(5);
+        cfg.max_iterations = 40;
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).unwrap();
+        let truth = GroundTruthOracle::new(swan_target());
+        let mut noisy = NoisyOracle::new(truth, 0.5, 99);
+        match synth.run(&mut noisy) {
+            // With heavy noise we expect contradictions or an infeasible
+            // graph; both are reported, never a panic.
+            Err(SynthError::InconsistentPreferences | SynthError::NoViableCandidate) => {}
+            Ok(_) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_with_repair_completes() {
+        let mut cfg = fast_cfg(5);
+        cfg.repair_noise = true;
+        cfg.max_iterations = 30;
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).unwrap();
+        let truth = GroundTruthOracle::new(swan_target());
+        let mut noisy = NoisyOracle::new(truth, 0.15, 99);
+        let result = synth.run(&mut noisy).unwrap();
+        // Repair may or may not trigger depending on which answers flip;
+        // the run must complete and produce a candidate either way.
+        assert!(result.stats.iterations() >= 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut synth =
+                Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(seed)).unwrap();
+            let mut oracle = GroundTruthOracle::new(swan_target());
+            let r = synth.run(&mut oracle).unwrap();
+            (r.objective.hole_values().to_vec(), r.stats.iterations())
+        };
+        assert_eq!(run(77), run(77));
+    }
+
+    #[test]
+    fn graph_grows_with_iterations() {
+        let mut synth =
+            Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(8)).unwrap();
+        let mut oracle = GroundTruthOracle::new(swan_target());
+        let result = synth.run(&mut oracle).unwrap();
+        assert!(synth.graph().edge_count() >= result.stats.iterations());
+        assert!(synth.graph().scenario_count() >= 5);
+    }
+}

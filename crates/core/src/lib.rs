@@ -1,0 +1,66 @@
+//! Comparative synthesis engine — the paper's primary contribution.
+//!
+//! Learns a network design *objective function* from an architect who can
+//! only rank concrete scenarios. The interactive loop (paper §3–§4,
+//! Figure 1):
+//!
+//! 1. Sample a few random scenarios within the metric bounds
+//!    (`ClosedInRange`) and ask the oracle to rank them; record answers in a
+//!    preference DAG `G`.
+//! 2. Each iteration, ask the δ-complete solver for a *disambiguation*: a
+//!    second candidate objective `fb` consistent with `G` plus a scenario
+//!    pair on which `fb` and the current candidate `fa` disagree by at
+//!    least the margin.
+//! 3. Ask the oracle to rank the new scenario pair(s); extend `G`; repeat.
+//! 4. When the disambiguation query is (δ-)unsatisfiable, every objective
+//!    consistent with `G` induces the same preferences up to the margin —
+//!    the sketch is solved and `fa` is returned.
+//!
+//! A fixed-`fa` disambiguation is equivalent to the paper's symmetric
+//! `∃ fa, fb` query: if *some* pair of consistent candidates disagrees
+//! somewhere, then at least one of them disagrees with `fa` somewhere, so
+//! the fixed query is satisfiable too.
+//!
+//! On termination semantics: over exact reals, finitely many strict
+//! preferences can never pin real-valued holes to a point, so "UNSAT ⇒
+//! unique solution" is necessarily approximate. We make the approximation
+//! explicit: two candidates are *margin-equivalent* if no scenario pair in
+//! bounds separates them by more than [`SynthConfig::margin`], and the
+//! solver's δ bounds the resolution at which the search for a separating
+//! pair gives up. See `DESIGN.md` §7.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cso_synth::{GroundTruthOracle, MetricSpace, SynthConfig, Synthesizer};
+//! use cso_sketch::swan::{swan_sketch, swan_target};
+//!
+//! let space = MetricSpace::swan(); // throughput [0,10] Gbps, latency [0,200] ms
+//! let mut cfg = SynthConfig::fast_test();
+//! cfg.seed = 7;
+//! let mut oracle = GroundTruthOracle::new(swan_target());
+//! let mut synth = Synthesizer::new(swan_sketch(), space, cfg).unwrap();
+//! let result = synth.run(&mut oracle).unwrap();
+//! assert!(result.stats.iterations() > 0);
+//! // The learnt objective ranks scenarios like the ground truth.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod oracle;
+pub mod query;
+pub mod scenario;
+pub mod stats;
+pub mod verify;
+
+pub use config::SynthConfig;
+pub use engine::{SynthError, SynthOutcome, SynthResult, Synthesizer};
+pub use oracle::{
+    FnOracle, GroundTruthOracle, IndifferenceOracle, LoggingOracle, NoisyOracle, Oracle,
+    Ranking,
+};
+pub use scenario::{MetricSpace, Scenario};
+pub use stats::{IterationRecord, RunSummary, SynthStats};

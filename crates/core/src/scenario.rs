@@ -1,0 +1,296 @@
+//! Scenarios and metric spaces.
+//!
+//! A *scenario* is one concrete combination of metric values — e.g.
+//! `(throughput = 2 Gbps, latency = 100 ms)` — the unit the architect is
+//! asked to rank. A [`MetricSpace`] names the metrics and fixes the closed
+//! ranges the paper calls `ClosedInRange`.
+
+use cso_numeric::Rat;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt;
+
+/// A concrete metric combination presented to the oracle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Scenario {
+    values: Vec<Rat>,
+}
+
+impl Scenario {
+    /// Build from exact metric values.
+    #[must_use]
+    pub fn new(values: Vec<Rat>) -> Scenario {
+        Scenario { values }
+    }
+
+    /// Build from integers (convenience for tests and examples).
+    #[must_use]
+    pub fn from_ints(values: &[i64]) -> Scenario {
+        Scenario { values: values.iter().map(|&v| Rat::from_int(v)).collect() }
+    }
+
+    /// Metric values in metric-space order.
+    #[must_use]
+    pub fn values(&self) -> &[Rat] {
+        &self.values
+    }
+
+    /// Number of metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff the scenario has no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Render with metric names.
+    #[must_use]
+    pub fn display_with<'a>(&'a self, space: &'a MetricSpace) -> ScenarioDisplay<'a> {
+        ScenarioDisplay { scenario: self, space }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Helper rendering a scenario with metric names.
+pub struct ScenarioDisplay<'a> {
+    scenario: &'a Scenario,
+    space: &'a MetricSpace,
+}
+
+impl fmt::Display for ScenarioDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.scenario.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} = {}", self.space.name(i), v)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Named metrics with closed ranges (`ClosedInRange`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSpace {
+    names: Vec<String>,
+    bounds: Vec<(Rat, Rat)>,
+}
+
+impl MetricSpace {
+    /// Build from `(name, lo, hi)` triples.
+    ///
+    /// # Panics
+    /// Panics if any range has `lo > hi` or the list is empty.
+    #[must_use]
+    pub fn new(metrics: Vec<(&str, Rat, Rat)>) -> MetricSpace {
+        assert!(!metrics.is_empty(), "metric space needs at least one metric");
+        let mut names = Vec::new();
+        let mut bounds = Vec::new();
+        for (name, lo, hi) in metrics {
+            assert!(lo <= hi, "metric `{name}` has lo > hi");
+            names.push(name.to_owned());
+            bounds.push((lo, hi));
+        }
+        MetricSpace { names, bounds }
+    }
+
+    /// The SWAN evaluation space: throughput ∈ [0, 10] Gbps and latency ∈
+    /// [0, 200] ms (paper §4.2).
+    #[must_use]
+    pub fn swan() -> MetricSpace {
+        MetricSpace::new(vec![
+            ("throughput", Rat::zero(), Rat::from_int(10)),
+            ("latency", Rat::zero(), Rat::from_int(200)),
+        ])
+    }
+
+    /// Number of metrics.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of metric `i`.
+    #[must_use]
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// All metric names.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Range of metric `i`.
+    #[must_use]
+    pub fn bounds(&self, i: usize) -> &(Rat, Rat) {
+        &self.bounds[i]
+    }
+
+    /// All ranges.
+    #[must_use]
+    pub fn all_bounds(&self) -> &[(Rat, Rat)] {
+        &self.bounds
+    }
+
+    /// `true` iff the scenario is inside every metric range.
+    #[must_use]
+    pub fn contains(&self, s: &Scenario) -> bool {
+        s.len() == self.dims()
+            && s.values()
+                .iter()
+                .zip(&self.bounds)
+                .all(|(v, (lo, hi))| v >= lo && v <= hi)
+    }
+
+    /// Sample a uniform random scenario (values snapped to 3 decimal
+    /// places so oracles and humans see tidy numbers; exactness is kept
+    /// because the snap itself is an exact rational).
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> Scenario {
+        let values = self
+            .bounds
+            .iter()
+            .map(|(lo, hi)| {
+                let l = lo.to_f64();
+                let h = hi.to_f64();
+                let x = if l == h { l } else { rng.random_range(l..=h) };
+                let snapped = Rat::from_frac((x * 1000.0).round() as i64, 1000);
+                snapped.clamp(lo, hi)
+            })
+            .collect();
+        Scenario::new(values)
+    }
+
+    /// An evenly spaced grid with `per_dim` points per metric (used by the
+    /// verification helpers). Total size is `per_dim^dims`.
+    #[must_use]
+    pub fn grid(&self, per_dim: usize) -> Vec<Scenario> {
+        assert!(per_dim >= 2, "grid needs at least 2 points per dimension");
+        let mut out = Vec::new();
+        let mut idx = vec![0usize; self.dims()];
+        loop {
+            let values: Vec<Rat> = idx
+                .iter()
+                .zip(&self.bounds)
+                .map(|(&i, (lo, hi))| {
+                    lo + &(&(hi - lo) * &Rat::from_frac(i as i64, (per_dim - 1) as i64))
+                })
+                .collect();
+            out.push(Scenario::new(values));
+            // Increment the mixed-radix counter.
+            let mut d = 0;
+            loop {
+                if d == self.dims() {
+                    return out;
+                }
+                idx[d] += 1;
+                if idx[d] < per_dim {
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scenario_accessors() {
+        let s = Scenario::from_ints(&[2, 100]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values()[1], Rat::from_int(100));
+        assert_eq!(s.to_string(), "(2, 100)");
+    }
+
+    #[test]
+    fn display_with_names() {
+        let sp = MetricSpace::swan();
+        let s = Scenario::from_ints(&[2, 100]);
+        assert_eq!(
+            s.display_with(&sp).to_string(),
+            "(throughput = 2, latency = 100)"
+        );
+    }
+
+    #[test]
+    fn swan_space_shape() {
+        let sp = MetricSpace::swan();
+        assert_eq!(sp.dims(), 2);
+        assert_eq!(sp.name(0), "throughput");
+        assert_eq!(*sp.bounds(1), (Rat::zero(), Rat::from_int(200)));
+    }
+
+    #[test]
+    fn contains_checks_bounds_and_arity() {
+        let sp = MetricSpace::swan();
+        assert!(sp.contains(&Scenario::from_ints(&[5, 100])));
+        assert!(sp.contains(&Scenario::from_ints(&[0, 0])));
+        assert!(sp.contains(&Scenario::from_ints(&[10, 200])));
+        assert!(!sp.contains(&Scenario::from_ints(&[11, 100])));
+        assert!(!sp.contains(&Scenario::from_ints(&[5, -1])));
+        assert!(!sp.contains(&Scenario::from_ints(&[5])));
+    }
+
+    #[test]
+    fn sampling_stays_in_bounds() {
+        let sp = MetricSpace::swan();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let s = sp.sample(&mut rng);
+            assert!(sp.contains(&s), "sample {s} out of bounds");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let sp = MetricSpace::swan();
+        let a: Vec<Scenario> =
+            (0..5).map(|_| sp.sample(&mut StdRng::seed_from_u64(1))).collect();
+        let b: Vec<Scenario> =
+            (0..5).map(|_| sp.sample(&mut StdRng::seed_from_u64(1))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_covers_corners() {
+        let sp = MetricSpace::swan();
+        let g = sp.grid(3);
+        assert_eq!(g.len(), 9);
+        assert!(g.contains(&Scenario::from_ints(&[0, 0])));
+        assert!(g.contains(&Scenario::from_ints(&[10, 200])));
+        assert!(g.contains(&Scenario::from_ints(&[5, 100])));
+        for s in &g {
+            assert!(sp.contains(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > hi")]
+    fn inverted_bounds_panics() {
+        let _ = MetricSpace::new(vec![("x", Rat::one(), Rat::zero())]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Statistics collection and the summary measures the paper reports.
+//!
+//! Table 1 reports average, median and SIQR (semi-interquartile range) of
+//! the iteration count, per-iteration synthesis time and total synthesis
+//! time over nine runs; [`RunSummary`] computes exactly those.
+
+use std::time::Duration;
+
+/// Per-iteration record emitted by the engine.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub index: usize,
+    /// Time spent in synthesis (solver + bookkeeping) this iteration,
+    /// excluding oracle time — the paper also excludes the oracle.
+    pub synthesis_time: Duration,
+    /// Scenarios sent to the oracle this iteration.
+    pub scenarios_asked: usize,
+    /// Whether the disambiguation query was answered from seeding.
+    pub sat_from_seeding: bool,
+}
+
+/// Statistics for one synthesis run.
+#[derive(Debug, Clone, Default)]
+pub struct SynthStats {
+    /// Per-iteration records, in order.
+    pub records: Vec<IterationRecord>,
+    /// Time spent ranking the initial random scenarios (solver-side only).
+    pub init_time: Duration,
+    /// Total wall-clock synthesis time (excluding oracle time).
+    pub total_time: Duration,
+    /// Preference edges recorded.
+    pub edges_recorded: usize,
+    /// Edges removed by noise repair.
+    pub edges_repaired: usize,
+}
+
+impl SynthStats {
+    /// Number of interactive iterations (excluding the initial ranking).
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Mean synthesis time per iteration in seconds.
+    #[must_use]
+    pub fn avg_iteration_secs(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.records.iter().map(|r| r.synthesis_time.as_secs_f64()).sum();
+        total / self.records.len() as f64
+    }
+
+    /// Total synthesis time in seconds.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.total_time.as_secs_f64()
+    }
+}
+
+/// Average / median / SIQR over a set of runs — the three columns of
+/// Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Arithmetic mean.
+    pub average: f64,
+    /// Median (lower-middle for even counts, matching common practice).
+    pub median: f64,
+    /// Semi-interquartile range `(Q3 - Q1) / 2`.
+    pub siqr: f64,
+}
+
+impl RunSummary {
+    /// Summarize a sample. Returns zeros for an empty sample.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> RunSummary {
+        if samples.is_empty() {
+            return RunSummary { average: 0.0, median: 0.0, siqr: 0.0 };
+        }
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
+        let average = v.iter().sum::<f64>() / v.len() as f64;
+        let median = quantile(&v, 0.5);
+        let q1 = quantile(&v, 0.25);
+        let q3 = quantile(&v, 0.75);
+        RunSummary { average, median, siqr: (q3 - q1) / 2.0 }
+    }
+}
+
+/// Linear-interpolation quantile of a sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = RunSummary::of(&[3.0; 9]);
+        assert_eq!(s.average, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.siqr, 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        // 1..=9: mean 5, median 5, Q1 3, Q3 7, SIQR 2.
+        let v: Vec<f64> = (1..=9).map(f64::from).collect();
+        let s = RunSummary::of(&v);
+        assert_eq!(s.average, 5.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.siqr, 2.0);
+    }
+
+    #[test]
+    fn summary_unsorted_input() {
+        let s = RunSummary::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.average, 5.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = RunSummary::of(&[]);
+        assert_eq!(s.average, 0.0);
+        assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let mut st = SynthStats::default();
+        for i in 1..=4 {
+            st.records.push(IterationRecord {
+                index: i,
+                synthesis_time: Duration::from_millis(100 * i as u64),
+                scenarios_asked: 2,
+                sat_from_seeding: false,
+            });
+        }
+        st.total_time = Duration::from_secs(1);
+        assert_eq!(st.iterations(), 4);
+        assert!((st.avg_iteration_secs() - 0.25).abs() < 1e-9);
+        assert_eq!(st.total_secs(), 1.0);
+    }
+}

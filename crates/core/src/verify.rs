@@ -1,0 +1,142 @@
+//! Verifying a learnt objective against a reference.
+//!
+//! Because the synthesis target is only identified up to preference
+//! equivalence, the right correctness measure is *agreement on scenario
+//! pairs*: does the learnt objective order pairs the way the reference
+//! does? Pairs the reference itself barely separates (difference below a
+//! margin) are excluded — no finite interaction can pin those down, and
+//! the engine's own convergence criterion deliberately ignores them.
+
+use crate::scenario::MetricSpace;
+use cso_numeric::Rat;
+use cso_sketch::CompletedObjective;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fraction of sampled scenario pairs on which `learnt` orders the pair the
+/// same way as `reference`, among pairs that `reference` separates by more
+/// than `margin`. Returns 1.0 when no pair clears the margin.
+#[must_use]
+pub fn preference_agreement(
+    learnt: &CompletedObjective,
+    reference: &CompletedObjective,
+    space: &MetricSpace,
+    n_pairs: usize,
+    seed: u64,
+    margin: &Rat,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut considered = 0usize;
+    let mut agreed = 0usize;
+    for _ in 0..n_pairs {
+        let a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        let (Ok(ra), Ok(rb)) = (reference.eval(a.values()), reference.eval(b.values())) else {
+            continue;
+        };
+        let diff = &ra - &rb;
+        if diff.abs() <= *margin {
+            continue;
+        }
+        considered += 1;
+        let (Ok(la), Ok(lb)) = (learnt.eval(a.values()), learnt.eval(b.values())) else {
+            continue;
+        };
+        if (diff.is_positive() && la > lb) || (diff.is_negative() && la < lb) {
+            agreed += 1;
+        }
+    }
+    if considered == 0 {
+        1.0
+    } else {
+        agreed as f64 / considered as f64
+    }
+}
+
+/// Worst-case disagreement over an evenly spaced grid: the largest
+/// reference-side separation among pairs the learnt objective mis-orders.
+/// Zero means the learnt objective agrees on every grid pair.
+#[must_use]
+pub fn max_misordered_gap(
+    learnt: &CompletedObjective,
+    reference: &CompletedObjective,
+    space: &MetricSpace,
+    per_dim: usize,
+) -> Rat {
+    let grid = space.grid(per_dim);
+    let vals: Vec<(Rat, Rat)> = grid
+        .iter()
+        .filter_map(|s| {
+            match (reference.eval(s.values()), learnt.eval(s.values())) {
+                (Ok(r), Ok(l)) => Some((r, l)),
+                _ => None,
+            }
+        })
+        .collect();
+    let mut worst = Rat::zero();
+    for i in 0..vals.len() {
+        for j in (i + 1)..vals.len() {
+            let (ri, li) = &vals[i];
+            let (rj, lj) = &vals[j];
+            let gap = (ri - rj).abs();
+            let misordered = (ri > rj && li < lj) || (ri < rj && li > lj);
+            if misordered && gap > worst {
+                worst = gap;
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_sketch::swan::{swan_target, swan_target_with};
+
+    #[test]
+    fn target_agrees_with_itself() {
+        let t = swan_target();
+        let a = preference_agreement(&t, &t, &MetricSpace::swan(), 200, 1, &Rat::zero());
+        assert_eq!(a, 1.0);
+        assert_eq!(
+            max_misordered_gap(&t, &t, &MetricSpace::swan(), 5),
+            Rat::zero()
+        );
+    }
+
+    #[test]
+    fn different_targets_disagree() {
+        // Two targets differing only in slope1 (1 vs 3) disagree exactly on
+        // satisfying-region pairs with Δt / Δ(t·l) between the slopes:
+        // a = (4, 1/2), b = (2, 1/2) is such a pair.
+        let t1 = swan_target();
+        let t3 = swan_target_with(1, 50, 3, 5);
+        let a = crate::scenario::Scenario::new(vec![Rat::from_int(4), Rat::from_frac(1, 2)]);
+        let b = crate::scenario::Scenario::new(vec![Rat::from_int(2), Rat::from_frac(1, 2)]);
+        assert_eq!(
+            t1.compare(a.values(), b.values()).unwrap(),
+            std::cmp::Ordering::Greater
+        );
+        assert_eq!(
+            t3.compare(a.values(), b.values()).unwrap(),
+            std::cmp::Ordering::Less
+        );
+        // Sampled agreement must notice such pairs given enough samples.
+        let agreement =
+            preference_agreement(&t1, &t3, &MetricSpace::swan(), 4000, 2, &Rat::from_frac(1, 2));
+        assert!(agreement < 1.0, "sampling should find disagreements, got {agreement}");
+        // A fully inverted-bonus target mis-orders grid pairs by a large gap.
+        let t2 = swan_target_with(9, 10, 5, 1);
+        let sampled =
+            preference_agreement(&t1, &t2, &MetricSpace::swan(), 4000, 3, &Rat::from_frac(1, 2));
+        assert!(sampled < 1.0, "inverted target should disagree, got {sampled}");
+    }
+
+    #[test]
+    fn margin_excludes_knife_edge_pairs() {
+        let t1 = swan_target();
+        let t2 = swan_target_with(1, 50, 1, 5); // identical
+        let a = preference_agreement(&t1, &t2, &MetricSpace::swan(), 100, 3, &Rat::from_int(1000));
+        assert_eq!(a, 1.0);
+    }
+}

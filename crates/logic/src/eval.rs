@@ -1,0 +1,212 @@
+//! Exact evaluation of terms and formulas over rational environments.
+//!
+//! This is the *certification* semantics: a candidate model found by
+//! sampling is only reported as `Sat` after the whole formula evaluates to
+//! `true` under exact rational arithmetic. There is no floating-point
+//! anywhere on this path.
+
+use crate::term::{Formula, Term};
+use cso_numeric::Rat;
+use std::fmt;
+
+/// An error raised during exact evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Division by an exactly-zero denominator.
+    DivByZero,
+    /// A variable index outside the environment.
+    UnboundVar(usize),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivByZero => write!(f, "division by zero"),
+            EvalError::UnboundVar(i) => write!(f, "unbound variable x{i}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate a term exactly in environment `env` (indexed by `VarId::index`).
+///
+/// # Errors
+/// Returns [`EvalError::DivByZero`] on division by zero and
+/// [`EvalError::UnboundVar`] if the term mentions a variable the environment
+/// does not cover.
+pub fn eval_term(t: &Term, env: &[Rat]) -> Result<Rat, EvalError> {
+    match t {
+        Term::Const(r) => Ok(r.clone()),
+        Term::Var(v) => env.get(v.index()).cloned().ok_or(EvalError::UnboundVar(v.index())),
+        Term::Neg(a) => Ok(-eval_term(a, env)?),
+        Term::Add(a, b) => Ok(eval_term(a, env)? + eval_term(b, env)?),
+        Term::Sub(a, b) => Ok(eval_term(a, env)? - eval_term(b, env)?),
+        Term::Mul(a, b) => Ok(eval_term(a, env)? * eval_term(b, env)?),
+        Term::Div(a, b) => {
+            let d = eval_term(b, env)?;
+            if d.is_zero() {
+                return Err(EvalError::DivByZero);
+            }
+            Ok(eval_term(a, env)? / d)
+        }
+        Term::Min(a, b) => Ok(eval_term(a, env)?.min(eval_term(b, env)?)),
+        Term::Max(a, b) => Ok(eval_term(a, env)?.max(eval_term(b, env)?)),
+        Term::Ite(c, a, b) => {
+            if eval_formula(c, env)? {
+                eval_term(a, env)
+            } else {
+                eval_term(b, env)
+            }
+        }
+    }
+}
+
+/// Evaluate a formula exactly in environment `env`.
+///
+/// # Errors
+/// Propagates term-evaluation errors. Short-circuits conjunction and
+/// disjunction, but an error in an *evaluated* operand is reported even if a
+/// later operand would decide the connective.
+pub fn eval_formula(f: &Formula, env: &[Rat]) -> Result<bool, EvalError> {
+    match f {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Cmp(op, a, b) => {
+            let x = eval_term(a, env)?;
+            let y = eval_term(b, env)?;
+            Ok(op.apply(&x, &y))
+        }
+        Formula::And(fs) => {
+            for g in fs {
+                if !eval_formula(g, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for g in fs {
+                if eval_formula(g, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Not(g) => Ok(!eval_formula(g, env)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::CmpOp;
+    use crate::vars::VarRegistry;
+
+    fn env(vals: &[i64]) -> Vec<Rat> {
+        vals.iter().map(|&v| Rat::from_int(v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_terms() {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let y = r.intern("y");
+        let t = Term::var(x).mul(Term::var(y)).add(Term::int(1));
+        assert_eq!(eval_term(&t, &env(&[3, 4])).unwrap(), Rat::from_int(13));
+        let t2 = Term::var(x).sub(Term::var(y)).neg();
+        assert_eq!(eval_term(&t2, &env(&[3, 4])).unwrap(), Rat::from_int(1));
+    }
+
+    #[test]
+    fn division_and_error() {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let t = Term::int(1).div(Term::var(x));
+        assert_eq!(eval_term(&t, &env(&[4])).unwrap(), Rat::from_frac(1, 4));
+        assert_eq!(eval_term(&t, &env(&[0])), Err(EvalError::DivByZero));
+    }
+
+    #[test]
+    fn unbound_variable() {
+        let mut r = VarRegistry::new();
+        let _ = r.intern("x");
+        let y = VarRegistry::new().intern("y"); // index 0 in a fresh registry
+        let _ = y;
+        let t = Term::var(crate::vars::VarId(5));
+        assert_eq!(eval_term(&t, &env(&[1])), Err(EvalError::UnboundVar(5)));
+    }
+
+    #[test]
+    fn min_max() {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let t = Term::var(x).min(Term::int(2)).max(Term::int(0));
+        assert_eq!(eval_term(&t, &env(&[5])).unwrap(), Rat::from_int(2));
+        assert_eq!(eval_term(&t, &env(&[-5])).unwrap(), Rat::from_int(0));
+        assert_eq!(eval_term(&t, &env(&[1])).unwrap(), Rat::from_int(1));
+    }
+
+    #[test]
+    fn ite_selects_branch() {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let t = Term::ite(
+            Term::var(x).ge(Term::int(0)),
+            Term::var(x),
+            Term::var(x).neg(),
+        ); // |x|
+        assert_eq!(eval_term(&t, &env(&[7])).unwrap(), Rat::from_int(7));
+        assert_eq!(eval_term(&t, &env(&[-7])).unwrap(), Rat::from_int(7));
+    }
+
+    #[test]
+    fn swan_shaped_objective() {
+        // f(t, l) = if t >= 1 && l <= 50 then t - 1*t*l + 1000 else t - 5*t*l
+        let mut r = VarRegistry::new();
+        let t = r.intern("throughput");
+        let l = r.intern("latency");
+        let cond = Formula::and(vec![
+            Term::var(t).ge(Term::int(1)),
+            Term::var(l).le(Term::int(50)),
+        ]);
+        let sat = Term::var(t)
+            .sub(Term::int(1).mul(Term::var(t)).mul(Term::var(l)))
+            .add(Term::int(1000));
+        let unsat = Term::var(t).sub(Term::int(5).mul(Term::var(t)).mul(Term::var(l)));
+        let f = Term::ite(cond, sat, unsat);
+        // satisfying region: (2, 10) -> 2 - 20 + 1000 = 982
+        assert_eq!(eval_term(&f, &env(&[2, 10])).unwrap(), Rat::from_int(982));
+        // unsatisfying region: (2, 100) -> 2 - 1000 = -998
+        assert_eq!(eval_term(&f, &env(&[2, 100])).unwrap(), Rat::from_int(-998));
+    }
+
+    #[test]
+    fn formula_connectives() {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let pos = Term::var(x).gt(Term::int(0));
+        let small = Term::var(x).lt(Term::int(10));
+        let f = Formula::and(vec![pos.clone(), small.clone()]);
+        assert!(eval_formula(&f, &env(&[5])).unwrap());
+        assert!(!eval_formula(&f, &env(&[50])).unwrap());
+        let g = Formula::or(vec![pos, small]);
+        assert!(eval_formula(&g, &env(&[-5])).unwrap());
+        let n = Formula::not(g);
+        assert!(!eval_formula(&n, &env(&[-5])).unwrap());
+        assert!(eval_formula(&Formula::True, &env(&[])).unwrap());
+        assert!(!eval_formula(&Formula::False, &env(&[])).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_does_not_mask_earlier_error() {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        // (1/x > 0) && false  -- error in first conjunct must surface.
+        let f = Formula::and(vec![
+            Formula::cmp(CmpOp::Gt, Term::int(1).div(Term::var(x)), Term::int(0)),
+            Formula::False,
+        ]);
+        assert_eq!(eval_formula(&f, &env(&[0])), Err(EvalError::DivByZero));
+    }
+}

@@ -1,0 +1,108 @@
+//! Satisfying assignments (models).
+
+use crate::vars::{VarId, VarRegistry};
+use cso_numeric::Rat;
+use std::fmt;
+
+/// A satisfying assignment: one exact rational per variable.
+///
+/// Models returned by the solver are *certified*: the originating formula
+/// evaluates to `true` under [`crate::eval::eval_formula`] with these values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    values: Vec<Rat>,
+}
+
+impl Model {
+    /// Build a model from dense per-variable values.
+    #[must_use]
+    pub fn new(values: Vec<Rat>) -> Model {
+        Model { values }
+    }
+
+    /// The value assigned to `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn get(&self, id: VarId) -> &Rat {
+        &self.values[id.index()]
+    }
+
+    /// The value assigned to `id` as a nearest `f64`.
+    #[must_use]
+    pub fn get_f64(&self, id: VarId) -> f64 {
+        self.values[id.index()].to_f64()
+    }
+
+    /// All values, indexed by variable index.
+    #[must_use]
+    pub fn values(&self) -> &[Rat] {
+        &self.values
+    }
+
+    /// Number of variables covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff the model covers no variables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Render with variable names from a registry.
+    #[must_use]
+    pub fn display_with<'a>(&'a self, vars: &'a VarRegistry) -> ModelDisplay<'a> {
+        ModelDisplay { model: self, vars }
+    }
+}
+
+/// Helper for displaying a model with variable names.
+pub struct ModelDisplay<'a> {
+    model: &'a Model,
+    vars: &'a VarRegistry,
+}
+
+impl fmt::Display for ModelDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.model.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let name = if i < self.vars.len() {
+                self.vars.name(crate::vars::VarId(i as u32)).to_owned()
+            } else {
+                format!("x{i}")
+            };
+            write!(f, "{name} = {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = Model::new(vec![Rat::from_int(1), Rat::from_frac(1, 2)]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.get(VarId(0)), &Rat::from_int(1));
+        assert_eq!(m.get_f64(VarId(1)), 0.5);
+    }
+
+    #[test]
+    fn display_with_names() {
+        let mut r = VarRegistry::new();
+        r.intern("tp");
+        r.intern("lat");
+        let m = Model::new(vec![Rat::from_int(5), Rat::from_int(100)]);
+        assert_eq!(m.display_with(&r).to_string(), "{tp = 5, lat = 100}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Structural simplification of terms and formulas.
+//!
+//! Simplification is *semantics-preserving* with respect to exact
+//! evaluation, with one documented exception: rewrites like `x * 0 → 0` may
+//! discard a division-by-zero error that the original term would have
+//! raised. The solver only simplifies formulas it builds itself (which are
+//! division-free or have guarded denominators), so this is acceptable; the
+//! property tests pin the exact contract on error-free inputs.
+//!
+//! Simplification matters for performance: the disambiguation queries built
+//! by the synthesis engine repeat the same lowered sketch once per
+//! preference edge, and constant folding after substitution shrinks those
+//! copies dramatically.
+
+use crate::term::{Formula, Term};
+use cso_numeric::Rat;
+use std::rc::Rc;
+
+/// Simplify a term: constant folding plus local algebraic identities.
+#[must_use]
+pub fn simplify_term(t: &Term) -> Term {
+    match t {
+        Term::Const(_) | Term::Var(_) => t.clone(),
+        Term::Neg(a) => {
+            let a = simplify_term(a);
+            match a {
+                Term::Const(r) => Term::Const(-r),
+                Term::Neg(inner) => (*inner).clone(),
+                other => Term::Neg(Rc::new(other)),
+            }
+        }
+        Term::Add(a, b) => {
+            let a = simplify_term(a);
+            let b = simplify_term(b);
+            match (&a, &b) {
+                (Term::Const(x), Term::Const(y)) => Term::Const(x + y),
+                (Term::Const(x), _) if x.is_zero() => b,
+                (_, Term::Const(y)) if y.is_zero() => a,
+                _ => Term::Add(Rc::new(a), Rc::new(b)),
+            }
+        }
+        Term::Sub(a, b) => {
+            let a = simplify_term(a);
+            let b = simplify_term(b);
+            match (&a, &b) {
+                (Term::Const(x), Term::Const(y)) => Term::Const(x - y),
+                (_, Term::Const(y)) if y.is_zero() => a,
+                (Term::Const(x), _) if x.is_zero() => Term::Neg(Rc::new(b)),
+                _ if a == b => Term::Const(Rat::zero()),
+                _ => Term::Sub(Rc::new(a), Rc::new(b)),
+            }
+        }
+        Term::Mul(a, b) => {
+            let a = simplify_term(a);
+            let b = simplify_term(b);
+            match (&a, &b) {
+                (Term::Const(x), Term::Const(y)) => Term::Const(x * y),
+                (Term::Const(x), _) if x.is_zero() => Term::Const(Rat::zero()),
+                (_, Term::Const(y)) if y.is_zero() => Term::Const(Rat::zero()),
+                (Term::Const(x), _) if x == &Rat::one() => b,
+                (_, Term::Const(y)) if y == &Rat::one() => a,
+                _ => Term::Mul(Rc::new(a), Rc::new(b)),
+            }
+        }
+        Term::Div(a, b) => {
+            let a = simplify_term(a);
+            let b = simplify_term(b);
+            match (&a, &b) {
+                (Term::Const(x), Term::Const(y)) if !y.is_zero() => Term::Const(x / y),
+                (_, Term::Const(y)) if y == &Rat::one() => a,
+                _ => Term::Div(Rc::new(a), Rc::new(b)),
+            }
+        }
+        Term::Min(a, b) => {
+            let a = simplify_term(a);
+            let b = simplify_term(b);
+            match (&a, &b) {
+                (Term::Const(x), Term::Const(y)) => {
+                    Term::Const(x.clone().min(y.clone()))
+                }
+                _ if a == b => a,
+                _ => Term::Min(Rc::new(a), Rc::new(b)),
+            }
+        }
+        Term::Max(a, b) => {
+            let a = simplify_term(a);
+            let b = simplify_term(b);
+            match (&a, &b) {
+                (Term::Const(x), Term::Const(y)) => {
+                    Term::Const(x.clone().max(y.clone()))
+                }
+                _ if a == b => a,
+                _ => Term::Max(Rc::new(a), Rc::new(b)),
+            }
+        }
+        Term::Ite(c, a, b) => {
+            let c = simplify_formula(c);
+            let a = simplify_term(a);
+            let b = simplify_term(b);
+            match c {
+                Formula::True => a,
+                Formula::False => b,
+                _ if a == b => a,
+                c => Term::Ite(Rc::new(c), Rc::new(a), Rc::new(b)),
+            }
+        }
+    }
+}
+
+/// Simplify a formula: constant folding, connective flattening, and
+/// constant-comparison resolution.
+#[must_use]
+pub fn simplify_formula(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Cmp(op, a, b) => {
+            let a = simplify_term(a);
+            let b = simplify_term(b);
+            if let (Term::Const(x), Term::Const(y)) = (&a, &b) {
+                return if op.apply(x, y) { Formula::True } else { Formula::False };
+            }
+            Formula::Cmp(*op, Rc::new(a), Rc::new(b))
+        }
+        Formula::And(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                match simplify_formula(g) {
+                    Formula::True => {}
+                    Formula::False => return Formula::False,
+                    Formula::And(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Formula::True,
+                1 => out.pop().expect("len checked"),
+                _ => Formula::And(out),
+            }
+        }
+        Formula::Or(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                match simplify_formula(g) {
+                    Formula::False => {}
+                    Formula::True => return Formula::True,
+                    Formula::Or(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Formula::False,
+                1 => out.pop().expect("len checked"),
+                _ => Formula::Or(out),
+            }
+        }
+        Formula::Not(g) => match simplify_formula(g) {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => (*inner).clone(),
+            Formula::Cmp(op, a, b) => Formula::Cmp(op.negate(), a, b),
+            other => Formula::Not(Rc::new(other)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::VarRegistry;
+
+    fn x_term() -> (Term, VarRegistry) {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        (Term::var(x), r)
+    }
+
+    #[test]
+    fn constant_folding() {
+        let t = Term::int(2).add(Term::int(3)).mul(Term::int(4));
+        assert_eq!(simplify_term(&t), Term::int(20));
+        let t2 = Term::int(10).div(Term::int(4));
+        assert_eq!(simplify_term(&t2), Term::constant(Rat::from_frac(5, 2)));
+    }
+
+    #[test]
+    fn identities() {
+        let (x, _) = x_term();
+        assert_eq!(simplify_term(&x.clone().add(Term::int(0))), x);
+        assert_eq!(simplify_term(&x.clone().mul(Term::int(1))), x);
+        assert_eq!(simplify_term(&x.clone().mul(Term::int(0))), Term::int(0));
+        assert_eq!(simplify_term(&x.clone().sub(x.clone())), Term::int(0));
+        assert_eq!(simplify_term(&x.clone().neg().neg()), x);
+        assert_eq!(simplify_term(&x.clone().div(Term::int(1))), x);
+        assert_eq!(simplify_term(&Term::int(0).sub(x.clone())), x.clone().neg());
+    }
+
+    #[test]
+    fn min_max_folding() {
+        assert_eq!(simplify_term(&Term::int(2).min(Term::int(5))), Term::int(2));
+        assert_eq!(simplify_term(&Term::int(2).max(Term::int(5))), Term::int(5));
+        let (x, _) = x_term();
+        assert_eq!(simplify_term(&x.clone().min(x.clone())), x);
+    }
+
+    #[test]
+    fn ite_resolution() {
+        let (x, _) = x_term();
+        let t = Term::ite(Formula::True, x.clone(), Term::int(0));
+        assert_eq!(simplify_term(&t), x);
+        let t2 = Term::ite(Formula::False, x.clone(), Term::int(0));
+        assert_eq!(simplify_term(&t2), Term::int(0));
+        // Constant condition folds through Cmp.
+        let t3 = Term::ite(Term::int(1).lt(Term::int(2)), x.clone(), Term::int(0));
+        assert_eq!(simplify_term(&t3), x.clone());
+        // Equal branches collapse regardless of condition.
+        let t4 = Term::ite(x.clone().gt(Term::int(0)), Term::int(7), Term::int(7));
+        assert_eq!(simplify_term(&t4), Term::int(7));
+    }
+
+    #[test]
+    fn formula_constant_resolution() {
+        assert_eq!(simplify_formula(&Term::int(1).lt(Term::int(2))), Formula::True);
+        assert_eq!(simplify_formula(&Term::int(3).lt(Term::int(2))), Formula::False);
+    }
+
+    #[test]
+    fn and_or_flattening() {
+        let (x, _) = x_term();
+        let a = x.clone().gt(Term::int(0));
+        let f = Formula::and(vec![
+            Formula::True,
+            Formula::and(vec![a.clone(), Formula::True]),
+        ]);
+        assert_eq!(simplify_formula(&f), a);
+        let g = Formula::and(vec![a.clone(), Formula::False]);
+        assert_eq!(simplify_formula(&g), Formula::False);
+        let h = Formula::or(vec![Formula::False, a.clone()]);
+        assert_eq!(simplify_formula(&h), a);
+        let i = Formula::or(vec![a, Formula::True]);
+        assert_eq!(simplify_formula(&i), Formula::True);
+        assert_eq!(simplify_formula(&Formula::and(vec![])), Formula::True);
+        assert_eq!(simplify_formula(&Formula::or(vec![])), Formula::False);
+    }
+
+    #[test]
+    fn negation_pushes_into_cmp() {
+        let (x, _) = x_term();
+        let f = Formula::not(x.clone().lt(Term::int(5)));
+        assert_eq!(simplify_formula(&f), x.ge(Term::int(5)));
+        let g = Formula::not(Formula::not(Formula::True));
+        assert_eq!(simplify_formula(&g), Formula::True);
+    }
+}

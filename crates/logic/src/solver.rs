@@ -1,0 +1,694 @@
+//! δ-complete satisfiability solver for bounded nonlinear rational formulas.
+//!
+//! The solver answers existential queries `∃ x ∈ Box. φ(x)` for the formula
+//! language of this crate. It combines two phases:
+//!
+//! 1. **Model seeding** — caller-provided seed models, jittered variants of
+//!    them, and uniform random samples are checked *exactly* (rational
+//!    arithmetic). This is what keeps satisfiable queries fast in the
+//!    synthesis loop, where the previous iteration's model is usually close
+//!    to a model of the next query. Disable via
+//!    [`SolverConfig::use_seeding`] for the ablation study.
+//! 2. **Branch-and-prune** — depth-first bisection over the box. A box is
+//!    pruned when interval evaluation certainly refutes one conjunct; a box
+//!    whose every conjunct is certainly true yields a model immediately.
+//!    Boxes narrower than [`SolverConfig::delta`] in every dimension that
+//!    still cannot be decided are *residual*.
+//!
+//! The outcome is:
+//! * [`Outcome::Sat`] — with an **exactly certified** rational model;
+//! * [`Outcome::Unsat`] — every box was refuted by sound interval
+//!   arithmetic: a proof of unsatisfiability;
+//! * [`Outcome::DeltaUnsat`] — refuted everywhere except residual sub-δ
+//!   boxes where exhaustive sampling found nothing. Following the
+//!   δ-decidability literature (dReal), callers treat this as "unsat for
+//!   all practical purposes"; the synthesis engine uses it as its
+//!   convergence signal.
+//! * [`Outcome::Exhausted`] — the box budget ran out first.
+//!
+//! Two monotonicity facts make the pruning loop cheap: once a conjunct is
+//! certainly true on a box it stays true on every sub-box, and a conjunct
+//! whose variables were untouched by a split keeps its verdict. The solver
+//! therefore re-evaluates only the still-unknown conjuncts that mention the
+//! split dimension.
+
+use crate::eval::eval_formula;
+use crate::ieval::{ieval_formula, Tri};
+use crate::model::Model;
+use crate::simplify::simplify_formula;
+use crate::term::Formula;
+use crate::vars::BoxDomain;
+use cso_numeric::{Interval, Rat};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Tuning knobs for the solver.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Minimum box width: boxes narrower than this in every dimension are
+    /// not split further. This is the δ of δ-completeness.
+    pub delta: f64,
+    /// Optional per-dimension δ overriding `delta` (indexed by variable
+    /// index). Dimensions whose ranges differ by orders of magnitude —
+    /// throughput in `[0, 10]` vs latency in `[0, 200]` — deserve
+    /// proportional resolutions; the split heuristic also normalizes widths
+    /// by these values.
+    pub delta_per_dim: Option<Vec<f64>>,
+    /// Maximum number of boxes to process before giving up with
+    /// [`Outcome::Exhausted`].
+    pub max_boxes: usize,
+    /// Random samples drawn inside each processed box.
+    pub samples_per_box: usize,
+    /// Uniform random samples drawn across the whole box before
+    /// branch-and-prune starts.
+    pub initial_samples: usize,
+    /// Jittered variants tried around each caller-provided seed.
+    pub jitters_per_seed: usize,
+    /// RNG seed (the solver is fully deterministic given the config and
+    /// query).
+    pub seed: u64,
+    /// Enable phase 1 (seeding). Disabled for the seeding ablation.
+    pub use_seeding: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            delta: 1e-3,
+            delta_per_dim: None,
+            max_boxes: 200_000,
+            samples_per_box: 1,
+            initial_samples: 512,
+            jitters_per_seed: 16,
+            seed: 0xC50_5EED,
+            use_seeding: true,
+        }
+    }
+}
+
+/// Result of a solver invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Satisfiable, with an exactly certified model.
+    Sat(Model),
+    /// Proved unsatisfiable over the whole box.
+    Unsat,
+    /// Unsatisfiable except possibly inside residual sub-δ boxes.
+    DeltaUnsat,
+    /// Budget exhausted before a decision.
+    Exhausted,
+}
+
+impl Outcome {
+    /// `true` for `Unsat` and `DeltaUnsat` (the convergence signals).
+    #[must_use]
+    pub fn is_unsat_like(&self) -> bool {
+        matches!(self, Outcome::Unsat | Outcome::DeltaUnsat)
+    }
+
+    /// The model, if satisfiable.
+    #[must_use]
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            Outcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Counters describing the work done by the last `solve` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Boxes popped from the work stack.
+    pub boxes_processed: usize,
+    /// Boxes pruned by interval refutation.
+    pub boxes_pruned: usize,
+    /// Sub-δ boxes left undecided.
+    pub residual_boxes: usize,
+    /// Exact sample evaluations.
+    pub samples_tried: usize,
+    /// Whether the model was found during seeding (vs branch-and-prune).
+    pub sat_from_seeding: bool,
+}
+
+/// The solver. Holds configuration, RNG state, and last-run statistics.
+#[derive(Debug)]
+pub struct Solver {
+    cfg: SolverConfig,
+    rng: StdRng,
+    /// Statistics from the most recent `solve` call.
+    pub stats: SolverStats,
+}
+
+/// Work item: a box plus the indices of conjuncts still undecided on it and
+/// the dimension whose split produced it (`usize::MAX` for the root).
+struct WorkItem {
+    dom: BoxDomain,
+    pending: Vec<u32>,
+}
+
+impl Solver {
+    /// Create a solver with the given configuration.
+    #[must_use]
+    pub fn new(cfg: SolverConfig) -> Solver {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Solver { cfg, rng, stats: SolverStats::default() }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+
+    /// Solve `∃ x ∈ dom. f(x)` with no seeds.
+    pub fn solve(&mut self, f: &Formula, dom: &BoxDomain) -> Outcome {
+        self.solve_seeded(f, dom, &[])
+    }
+
+    /// Solve with caller-provided seed models (checked first, then
+    /// jittered). Seeds outside the box are clamped into it.
+    pub fn solve_seeded(&mut self, f: &Formula, dom: &BoxDomain, seeds: &[Model]) -> Outcome {
+        self.stats = SolverStats::default();
+        let f = simplify_formula(f);
+        match f {
+            Formula::True => {
+                let m = self.certify(&Formula::True, &self.sample_mid(dom));
+                return Outcome::Sat(m.unwrap_or_else(|| Model::new(self.mid_values(dom))));
+            }
+            Formula::False => return Outcome::Unsat,
+            _ => {}
+        }
+
+        if self.cfg.use_seeding {
+            if let Some(m) = self.seeding_phase(&f, dom, seeds) {
+                self.stats.sat_from_seeding = true;
+                return Outcome::Sat(m);
+            }
+        }
+
+        self.branch_and_prune(&f, dom)
+    }
+
+    // -- phase 1: seeding ---------------------------------------------------
+
+    fn seeding_phase(&mut self, f: &Formula, dom: &BoxDomain, seeds: &[Model]) -> Option<Model> {
+        // Exact seeds, clamped into the box.
+        for s in seeds {
+            let vals = self.clamp_into(dom, s.values());
+            if let Some(m) = self.certify(f, &vals) {
+                return Some(m);
+            }
+        }
+        // Jitter around each seed, with radius growing geometrically:
+        // thin feasible regions want probes close to the (nearly feasible)
+        // seed first, wide ones are caught by the later large radii.
+        for s in seeds {
+            for j in 0..self.cfg.jitters_per_seed {
+                let vals = self.jitter(dom, s.values(), j as u32);
+                if let Some(m) = self.certify(f, &vals) {
+                    return Some(m);
+                }
+            }
+        }
+        // Uniform random samples.
+        for _ in 0..self.cfg.initial_samples {
+            let vals = self.sample_uniform(dom);
+            if let Some(m) = self.certify(f, &vals) {
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    // -- phase 2: branch and prune -------------------------------------------
+
+    fn branch_and_prune(&mut self, f: &Formula, dom: &BoxDomain) -> Outcome {
+        let conjuncts = f.conjuncts();
+        if conjuncts.is_empty() {
+            // f simplified to True; handled earlier, but stay safe.
+            return Outcome::Sat(Model::new(self.mid_values(dom)));
+        }
+        let mentions: Vec<Vec<u32>> = conjuncts
+            .iter()
+            .map(|c| c.vars().iter().map(|v| v.0).collect())
+            .collect();
+
+        // Root: evaluate everything once.
+        let mut root_pending = Vec::new();
+        for (i, c) in conjuncts.iter().enumerate() {
+            match ieval_formula(c, dom) {
+                Tri::False => {
+                    self.stats.boxes_processed = 1;
+                    self.stats.boxes_pruned = 1;
+                    return Outcome::Unsat;
+                }
+                Tri::Unknown => root_pending.push(i as u32),
+                Tri::True => {}
+            }
+        }
+        let mut stack = vec![WorkItem { dom: dom.clone(), pending: root_pending }];
+
+        while let Some(item) = stack.pop() {
+            self.stats.boxes_processed += 1;
+            if self.stats.boxes_processed > self.cfg.max_boxes {
+                return Outcome::Exhausted;
+            }
+
+            if item.pending.is_empty() {
+                // Certainly true everywhere in the box; certify the midpoint
+                // (guaranteed to succeed unless evaluation errors).
+                if let Some(m) = self.certify(f, &self.mid_values(&item.dom)) {
+                    return Outcome::Sat(m);
+                }
+                for _ in 0..3 {
+                    let vals = self.sample_uniform(&item.dom);
+                    if let Some(m) = self.certify(f, &vals) {
+                        return Outcome::Sat(m);
+                    }
+                }
+                // All evaluations errored (division by zero on a measure-zero
+                // set can do this); treat conservatively as residual.
+                self.stats.residual_boxes += 1;
+                continue;
+            }
+
+            // Sample inside the box.
+            for _ in 0..self.cfg.samples_per_box {
+                let vals = self.sample_uniform(&item.dom);
+                if let Some(m) = self.certify(f, &vals) {
+                    return Outcome::Sat(m);
+                }
+            }
+
+            if self.box_is_residual(&item, &mentions) {
+                self.stats.residual_boxes += 1;
+                continue;
+            }
+
+            // Split on the widest dimension among those mentioned by pending
+            // conjuncts (splitting unconstrained dims cannot help).
+            let dim = self.pick_split_dim(&item, &mentions);
+            let (lo, hi) = item.dom.bisect(dim);
+            'child: for child_dom in [lo, hi] {
+                let mut pending = Vec::with_capacity(item.pending.len());
+                for &ci in &item.pending {
+                    let c = &conjuncts[ci as usize];
+                    // Re-evaluate only conjuncts that mention the split dim;
+                    // others keep their Unknown verdict on the sub-box.
+                    if mentions[ci as usize].binary_search(&(dim as u32)).is_ok() {
+                        match ieval_formula(c, &child_dom) {
+                            Tri::False => {
+                                self.stats.boxes_pruned += 1;
+                                continue 'child;
+                            }
+                            Tri::Unknown => pending.push(ci),
+                            Tri::True => {}
+                        }
+                    } else {
+                        pending.push(ci);
+                    }
+                }
+                stack.push(WorkItem { dom: child_dom, pending });
+            }
+        }
+
+        if self.stats.residual_boxes == 0 {
+            Outcome::Unsat
+        } else {
+            Outcome::DeltaUnsat
+        }
+    }
+
+    fn delta_for(&self, dim: usize) -> f64 {
+        self.cfg
+            .delta_per_dim
+            .as_ref()
+            .and_then(|v| v.get(dim).copied())
+            .unwrap_or(self.cfg.delta)
+            .max(f64::MIN_POSITIVE)
+    }
+
+    /// A box is residual when every dimension still read by a pending
+    /// conjunct is narrower than its δ; unconstrained dimensions are
+    /// irrelevant (splitting them cannot change any verdict).
+    fn box_is_residual(&self, item: &WorkItem, mentions: &[Vec<u32>]) -> bool {
+        item.pending.iter().all(|&ci| {
+            mentions[ci as usize].iter().all(|&v| {
+                let d = v as usize;
+                d >= item.dom.len() || item.dom.intervals()[d].width() <= self.delta_for(d)
+            })
+        })
+    }
+
+    /// Split the dimension with the largest width relative to its δ, among
+    /// dimensions mentioned by still-pending conjuncts (splitting a
+    /// dimension no undecided conjunct reads can never change a verdict).
+    fn pick_split_dim(&self, item: &WorkItem, mentions: &[Vec<u32>]) -> usize {
+        let mut relevant = vec![false; item.dom.len()];
+        for &ci in &item.pending {
+            for &v in &mentions[ci as usize] {
+                if let Some(r) = relevant.get_mut(v as usize) {
+                    *r = true;
+                }
+            }
+        }
+        let mut best = None;
+        let mut score = f64::NEG_INFINITY;
+        for d in 0..item.dom.len() {
+            if !relevant[d] {
+                continue;
+            }
+            let w = item.dom.intervals()[d].width();
+            if w <= 0.0 {
+                continue;
+            }
+            let s = w / self.delta_for(d);
+            if s > score {
+                score = s;
+                best = Some(d);
+            }
+        }
+        best.unwrap_or_else(|| item.dom.widest_dim())
+    }
+
+    // -- sampling helpers -----------------------------------------------------
+
+    /// Snap an `f64` to a rational with denominator 10^6, keeping models
+    /// human-readable; exactness is preserved because every candidate is
+    /// re-certified.
+    fn snap(x: f64) -> Rat {
+        let scaled = (x * 1e6).round();
+        if scaled.abs() < 9e15 {
+            Rat::from_frac(scaled as i64, 1_000_000)
+        } else {
+            Rat::from_f64(x).unwrap_or_else(Rat::zero)
+        }
+    }
+
+    fn clamp_iv(iv: Interval) -> (f64, f64) {
+        const CAP: f64 = 1e9;
+        let lo = if iv.lo().is_finite() { iv.lo() } else { -CAP };
+        let hi = if iv.hi().is_finite() { iv.hi() } else { CAP };
+        (lo, hi)
+    }
+
+    fn rat_in(iv: Interval, x: f64) -> Rat {
+        let (lo, hi) = Solver::clamp_iv(iv);
+        let snapped = Solver::snap(x.clamp(lo, hi));
+        // Snapping may push just outside the box; clamp exactly.
+        let rlo = Rat::from_f64(lo).unwrap_or_else(Rat::zero);
+        let rhi = Rat::from_f64(hi).unwrap_or_else(Rat::zero);
+        if rlo <= rhi {
+            snapped.clamp(&rlo, &rhi)
+        } else {
+            snapped
+        }
+    }
+
+    fn sample_uniform(&mut self, dom: &BoxDomain) -> Vec<Rat> {
+        (0..dom.len())
+            .map(|i| {
+                let iv = dom.intervals()[i];
+                let (lo, hi) = Solver::clamp_iv(iv);
+                let x = if lo == hi { lo } else { self.rng.random_range(lo..=hi) };
+                Solver::rat_in(iv, x)
+            })
+            .collect()
+    }
+
+    fn mid_values(&self, dom: &BoxDomain) -> Vec<Rat> {
+        (0..dom.len())
+            .map(|i| {
+                let iv = dom.intervals()[i];
+                Solver::rat_in(iv, iv.midpoint())
+            })
+            .collect()
+    }
+
+    fn sample_mid(&self, dom: &BoxDomain) -> Vec<Rat> {
+        self.mid_values(dom)
+    }
+
+    fn clamp_into(&self, dom: &BoxDomain, vals: &[Rat]) -> Vec<Rat> {
+        (0..dom.len())
+            .map(|i| {
+                let iv = dom.intervals()[i];
+                let (lo, hi) = Solver::clamp_iv(iv);
+                let rlo = Rat::from_f64(lo).unwrap_or_else(Rat::zero);
+                let rhi = Rat::from_f64(hi).unwrap_or_else(Rat::zero);
+                match vals.get(i) {
+                    Some(v) if rlo <= rhi => v.clone().clamp(&rlo, &rhi),
+                    Some(v) => v.clone(),
+                    None => Solver::rat_in(iv, iv.midpoint()),
+                }
+            })
+            .collect()
+    }
+
+    fn jitter(&mut self, dom: &BoxDomain, vals: &[Rat], step: u32) -> Vec<Rat> {
+        // Radius factor: 0.4% of the range at step 0, growing ~1.5x per
+        // step, capped at 15%.
+        let factor = (0.004 * 1.5f64.powi(step as i32 / 2)).min(0.15);
+        (0..dom.len())
+            .map(|i| {
+                let iv = dom.intervals()[i];
+                let (lo, hi) = Solver::clamp_iv(iv);
+                let center = vals.get(i).map_or_else(|| iv.midpoint(), Rat::to_f64);
+                let radius = ((hi - lo) * factor).max(1e-6);
+                let x = center + self.rng.random_range(-radius..=radius);
+                Solver::rat_in(iv, x)
+            })
+            .collect()
+    }
+
+    fn certify(&mut self, f: &Formula, vals: &[Rat]) -> Option<Model> {
+        self.stats.samples_tried += 1;
+        match eval_formula(f, vals) {
+            Ok(true) => Some(Model::new(vals.to_vec())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::vars::VarRegistry;
+
+    fn solver() -> Solver {
+        Solver::new(SolverConfig::default())
+    }
+
+    fn setup2() -> (VarRegistry, BoxDomain, crate::vars::VarId, crate::vars::VarId) {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let y = r.intern("y");
+        let mut d = BoxDomain::new(&r);
+        d.set(x, Interval::new(0.0, 10.0));
+        d.set(y, Interval::new(0.0, 10.0));
+        (r, d, x, y)
+    }
+
+    #[test]
+    fn sat_simple_linear() {
+        let (_, d, x, y) = setup2();
+        let f = Formula::and(vec![
+            Term::var(x).add(Term::var(y)).ge(Term::int(5)),
+            Term::var(x).le(Term::int(2)),
+        ]);
+        let mut s = solver();
+        match s.solve(&f, &d) {
+            Outcome::Sat(m) => {
+                assert!(eval_formula(&f, m.values()).unwrap());
+            }
+            o => panic!("expected sat, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn sat_nonlinear() {
+        let (_, d, x, y) = setup2();
+        // x*y == near 12 with narrow band, x > y
+        let f = Formula::and(vec![
+            Term::var(x).mul(Term::var(y)).ge(Term::int(12)),
+            Term::var(x).mul(Term::var(y)).le(Term::int(13)),
+            Term::var(x).gt(Term::var(y)),
+        ]);
+        let mut s = solver();
+        let out = s.solve(&f, &d);
+        let m = out.model().expect("sat");
+        assert!(eval_formula(&f, m.values()).unwrap());
+    }
+
+    #[test]
+    fn unsat_proved() {
+        let (_, d, x, y) = setup2();
+        // x + y > 25 impossible on [0,10]^2
+        let f = Term::var(x).add(Term::var(y)).gt(Term::int(25));
+        let mut s = solver();
+        assert_eq!(s.solve(&f, &d), Outcome::Unsat);
+    }
+
+    #[test]
+    fn unsat_needs_splitting() {
+        let (_, d, x, y) = setup2();
+        // x*y >= 60 and x + y <= 10: max of x*y on the simplex is 25.
+        let f = Formula::and(vec![
+            Term::var(x).mul(Term::var(y)).ge(Term::int(60)),
+            Term::var(x).add(Term::var(y)).le(Term::int(10)),
+        ]);
+        let mut s = solver();
+        let out = s.solve(&f, &d);
+        assert!(out.is_unsat_like(), "got {out:?}");
+    }
+
+    #[test]
+    fn thin_sat_band_found() {
+        let (_, d, x, y) = setup2();
+        // A thin diagonal band: 4.999 <= x + y <= 5.001.
+        let f = Formula::and(vec![
+            Term::var(x).add(Term::var(y)).ge(Term::constant(Rat::from_frac(4999, 1000))),
+            Term::var(x).add(Term::var(y)).le(Term::constant(Rat::from_frac(5001, 1000))),
+        ]);
+        let mut s = solver();
+        let out = s.solve(&f, &d);
+        let m = out.model().expect("thin band should be found");
+        assert!(eval_formula(&f, m.values()).unwrap());
+    }
+
+    #[test]
+    fn seeds_accelerate_and_are_clamped() {
+        let (_, d, x, y) = setup2();
+        let f = Formula::and(vec![
+            Term::var(x).ge(Term::int(9)),
+            Term::var(y).le(Term::int(1)),
+        ]);
+        // A seed outside the box gets clamped in and certified.
+        let seed = Model::new(vec![Rat::from_int(50), Rat::from_int(-3)]);
+        let mut s = solver();
+        match s.solve_seeded(&f, &d, &[seed]) {
+            Outcome::Sat(m) => {
+                assert!(eval_formula(&f, m.values()).unwrap());
+                assert!(s.stats.sat_from_seeding);
+                assert_eq!(s.stats.samples_tried, 1, "first clamped seed suffices");
+            }
+            o => panic!("expected sat, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn seeding_disabled_still_solves() {
+        let (_, d, x, y) = setup2();
+        let f = Formula::and(vec![
+            Term::var(x).ge(Term::int(9)),
+            Term::var(y).le(Term::int(1)),
+        ]);
+        let mut cfg = SolverConfig::default();
+        cfg.use_seeding = false;
+        let mut s = Solver::new(cfg);
+        let out = s.solve(&f, &d);
+        assert!(out.model().is_some());
+        assert!(!s.stats.sat_from_seeding);
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        let (_, d, _, _) = setup2();
+        let mut s = solver();
+        assert!(matches!(s.solve(&Formula::True, &d), Outcome::Sat(_)));
+        assert_eq!(s.solve(&Formula::False, &d), Outcome::Unsat);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let (_, d, x, y) = setup2();
+        // Hard thin unsat band with a tiny budget: must report Exhausted,
+        // not a bogus unsat.
+        let f = Formula::and(vec![
+            Term::var(x).mul(Term::var(y)).ge(Term::int(25)),
+            Term::var(x).add(Term::var(y)).le(Term::int(10)),
+            Term::var(x).sub(Term::var(y)).ge(Term::constant(Rat::from_frac(1, 1000))),
+        ]);
+        let mut cfg = SolverConfig::default();
+        cfg.max_boxes = 3;
+        cfg.use_seeding = false;
+        cfg.delta = 1e-9;
+        let mut s = Solver::new(cfg);
+        let out = s.solve(&f, &d);
+        assert!(matches!(out, Outcome::Exhausted | Outcome::DeltaUnsat), "got {out:?}");
+    }
+
+    #[test]
+    fn delta_unsat_on_measure_zero_equality() {
+        let (_, d, x, y) = setup2();
+        // x == y && x != y is plainly unsat, but x*x == y (a curve) is
+        // measure-zero: sampling cannot hit it, interval tests cannot refute
+        // it, so we expect DeltaUnsat (residual boxes along the curve) —
+        // with an exact-equality atom Sat is also possible if a snapped
+        // rational lands exactly on the curve.
+        let f = Formula::and(vec![
+            Term::var(x).mul(Term::var(x)).eq_t(Term::var(y)),
+            // Keep it off trivial points.
+            Term::var(x).ge(Term::int(1)),
+            Term::var(x).mul(Term::var(x)).ne_t(Term::var(x)),
+        ]);
+        let mut cfg = SolverConfig::default();
+        cfg.delta = 0.05;
+        cfg.max_boxes = 100_000;
+        let mut s = Solver::new(cfg);
+        match s.solve(&f, &d) {
+            Outcome::Sat(m) => {
+                assert!(eval_formula(&f, m.values()).unwrap());
+            }
+            Outcome::DeltaUnsat => {
+                assert!(s.stats.residual_boxes > 0);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, d, x, y) = setup2();
+        let f = Formula::and(vec![
+            Term::var(x).mul(Term::var(y)).ge(Term::int(12)),
+            Term::var(x).add(Term::var(y)).le(Term::int(9)),
+        ]);
+        let m1 = Solver::new(SolverConfig::default()).solve(&f, &d);
+        let m2 = Solver::new(SolverConfig::default()).solve(&f, &d);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn ite_objective_query() {
+        // A miniature of the real workload: compare a SWAN-style sketched
+        // objective at two scenario points.
+        let mut r = VarRegistry::new();
+        let t1 = r.intern("t1");
+        let l1 = r.intern("l1");
+        let t2 = r.intern("t2");
+        let l2 = r.intern("l2");
+        let obj = |t: Term, l: Term| {
+            let cond = Formula::and(vec![t.clone().ge(Term::int(1)), l.clone().le(Term::int(50))]);
+            let sat = t.clone().sub(t.clone().mul(l.clone())).add(Term::int(1000));
+            let unsat = t.clone().sub(Term::int(5).mul(t).mul(l));
+            Term::ite(cond, sat, unsat)
+        };
+        // Find scenarios where objective(s1) > objective(s2) + 500.
+        let f = obj(Term::var(t1), Term::var(l1))
+            .gt(obj(Term::var(t2), Term::var(l2)).add(Term::int(500)));
+        let mut d = BoxDomain::new(&r);
+        for v in [t1, t2] {
+            d.set(v, Interval::new(0.0, 10.0));
+        }
+        for v in [l1, l2] {
+            d.set(v, Interval::new(0.0, 200.0));
+        }
+        let mut s = solver();
+        let out = s.solve(&f, &d);
+        let m = out.model().expect("sat");
+        assert!(eval_formula(&f, m.values()).unwrap());
+    }
+}

@@ -1,0 +1,535 @@
+//! The term and formula language.
+//!
+//! Terms denote real-valued expressions over interned variables; formulas
+//! are boolean combinations of comparisons. The language is deliberately
+//! small — it is exactly what objective-function sketches lower to — and
+//! every construct has both an exact rational semantics ([`crate::eval`])
+//! and a sound interval semantics ([`crate::ieval`]).
+
+use crate::vars::VarId;
+use cso_numeric::Rat;
+use std::fmt;
+use std::rc::Rc;
+
+/// Comparison operators usable in formula atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator with swapped sides (`a op b` ⟺ `b op.flip() a`).
+    #[must_use]
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// The logical negation (`!(a op b)` ⟺ `a op.negate() b`).
+    #[must_use]
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Apply to exact rationals.
+    #[must_use]
+    pub fn apply(self, a: &Rat, b: &Rat) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A real-valued expression.
+///
+/// Shared subtrees use [`Rc`], so cloning a term is cheap and lowering a
+/// sketch once per preference-graph edge does not blow up memory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A rational constant.
+    Const(Rat),
+    /// An interned variable.
+    Var(VarId),
+    /// Unary negation.
+    Neg(Rc<Term>),
+    /// Binary sum.
+    Add(Rc<Term>, Rc<Term>),
+    /// Binary difference.
+    Sub(Rc<Term>, Rc<Term>),
+    /// Binary product.
+    Mul(Rc<Term>, Rc<Term>),
+    /// Binary quotient (division by zero is an evaluation error).
+    Div(Rc<Term>, Rc<Term>),
+    /// Pointwise minimum.
+    Min(Rc<Term>, Rc<Term>),
+    /// Pointwise maximum.
+    Max(Rc<Term>, Rc<Term>),
+    /// `if cond then a else b`.
+    Ite(Rc<Formula>, Rc<Term>, Rc<Term>),
+}
+
+impl Term {
+    /// A rational constant term.
+    #[must_use]
+    pub fn constant(r: Rat) -> Term {
+        Term::Const(r)
+    }
+
+    /// An integer constant term.
+    #[must_use]
+    pub fn int(v: i64) -> Term {
+        Term::Const(Rat::from_int(v))
+    }
+
+    /// A variable term.
+    #[must_use]
+    pub fn var(id: VarId) -> Term {
+        Term::Var(id)
+    }
+
+    /// `-self`.
+    #[must_use]
+    pub fn neg(self) -> Term {
+        Term::Neg(Rc::new(self))
+    }
+
+    /// `self + rhs`.
+    #[must_use]
+    pub fn add(self, rhs: Term) -> Term {
+        Term::Add(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `self - rhs`.
+    #[must_use]
+    pub fn sub(self, rhs: Term) -> Term {
+        Term::Sub(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `self * rhs`.
+    #[must_use]
+    pub fn mul(self, rhs: Term) -> Term {
+        Term::Mul(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `self / rhs`.
+    #[must_use]
+    pub fn div(self, rhs: Term) -> Term {
+        Term::Div(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `min(self, rhs)`.
+    #[must_use]
+    pub fn min(self, rhs: Term) -> Term {
+        Term::Min(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    #[must_use]
+    pub fn max(self, rhs: Term) -> Term {
+        Term::Max(Rc::new(self), Rc::new(rhs))
+    }
+
+    /// `if cond then self else other`.
+    #[must_use]
+    pub fn ite(cond: Formula, then: Term, els: Term) -> Term {
+        Term::Ite(Rc::new(cond), Rc::new(then), Rc::new(els))
+    }
+
+    /// `self < rhs` as a formula atom.
+    #[must_use]
+    pub fn lt(self, rhs: Term) -> Formula {
+        Formula::cmp(CmpOp::Lt, self, rhs)
+    }
+
+    /// `self <= rhs` as a formula atom.
+    #[must_use]
+    pub fn le(self, rhs: Term) -> Formula {
+        Formula::cmp(CmpOp::Le, self, rhs)
+    }
+
+    /// `self > rhs` as a formula atom.
+    #[must_use]
+    pub fn gt(self, rhs: Term) -> Formula {
+        Formula::cmp(CmpOp::Gt, self, rhs)
+    }
+
+    /// `self >= rhs` as a formula atom.
+    #[must_use]
+    pub fn ge(self, rhs: Term) -> Formula {
+        Formula::cmp(CmpOp::Ge, self, rhs)
+    }
+
+    /// `self == rhs` as a formula atom.
+    #[must_use]
+    pub fn eq_t(self, rhs: Term) -> Formula {
+        Formula::cmp(CmpOp::Eq, self, rhs)
+    }
+
+    /// `self != rhs` as a formula atom.
+    #[must_use]
+    pub fn ne_t(self, rhs: Term) -> Formula {
+        Formula::cmp(CmpOp::Ne, self, rhs)
+    }
+
+    /// Collect the set of variables mentioned (deduplicated, sorted).
+    #[must_use]
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    pub(crate) fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Term::Const(_) => {}
+            Term::Var(v) => out.push(*v),
+            Term::Neg(a) => a.collect_vars(out),
+            Term::Add(a, b)
+            | Term::Sub(a, b)
+            | Term::Mul(a, b)
+            | Term::Div(a, b)
+            | Term::Min(a, b)
+            | Term::Max(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Ite(c, a, b) => {
+                c.collect_vars(out);
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Substitute variables by terms: wherever `Var(v)` appears and
+    /// `subst(v)` is `Some(t)`, replace it with `t`.
+    #[must_use]
+    pub fn substitute(&self, subst: &dyn Fn(VarId) -> Option<Term>) -> Term {
+        match self {
+            Term::Const(_) => self.clone(),
+            Term::Var(v) => subst(*v).unwrap_or_else(|| self.clone()),
+            Term::Neg(a) => Term::Neg(Rc::new(a.substitute(subst))),
+            Term::Add(a, b) => {
+                Term::Add(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+            }
+            Term::Sub(a, b) => {
+                Term::Sub(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+            }
+            Term::Mul(a, b) => {
+                Term::Mul(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+            }
+            Term::Div(a, b) => {
+                Term::Div(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+            }
+            Term::Min(a, b) => {
+                Term::Min(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+            }
+            Term::Max(a, b) => {
+                Term::Max(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+            }
+            Term::Ite(c, a, b) => Term::Ite(
+                Rc::new(c.substitute(subst)),
+                Rc::new(a.substitute(subst)),
+                Rc::new(b.substitute(subst)),
+            ),
+        }
+    }
+
+    /// Number of AST nodes (terms and formulas).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Const(_) | Term::Var(_) => 1,
+            Term::Neg(a) => 1 + a.size(),
+            Term::Add(a, b)
+            | Term::Sub(a, b)
+            | Term::Mul(a, b)
+            | Term::Div(a, b)
+            | Term::Min(a, b)
+            | Term::Max(a, b) => 1 + a.size() + b.size(),
+            Term::Ite(c, a, b) => 1 + c.size() + a.size() + b.size(),
+        }
+    }
+}
+
+/// A boolean combination of comparisons between terms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// An atomic comparison `lhs op rhs`.
+    Cmp(CmpOp, Rc<Term>, Rc<Term>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Rc<Formula>),
+}
+
+impl Formula {
+    /// An atomic comparison.
+    #[must_use]
+    pub fn cmp(op: CmpOp, lhs: Term, rhs: Term) -> Formula {
+        Formula::Cmp(op, Rc::new(lhs), Rc::new(rhs))
+    }
+
+    /// Conjunction of the given formulas.
+    #[must_use]
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        Formula::And(fs)
+    }
+
+    /// Disjunction of the given formulas.
+    #[must_use]
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        Formula::Or(fs)
+    }
+
+    /// Logical negation.
+    #[must_use]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Rc::new(f))
+    }
+
+    /// Collect the set of variables mentioned (deduplicated, sorted).
+    #[must_use]
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    pub(crate) fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Cmp(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+            Formula::Not(f) => f.collect_vars(out),
+        }
+    }
+
+    /// Substitute variables by terms throughout.
+    #[must_use]
+    pub fn substitute(&self, subst: &dyn Fn(VarId) -> Option<Term>) -> Formula {
+        match self {
+            Formula::True | Formula::False => self.clone(),
+            Formula::Cmp(op, a, b) => {
+                Formula::Cmp(*op, Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+            }
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.substitute(subst)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.substitute(subst)).collect()),
+            Formula::Not(f) => Formula::Not(Rc::new(f.substitute(subst))),
+        }
+    }
+
+    /// Flatten into a list of conjuncts (`And` nodes are expanded; anything
+    /// else is a single conjunct). The solver prunes per conjunct.
+    #[must_use]
+    pub fn conjuncts(&self) -> Vec<Formula> {
+        match self {
+            Formula::And(fs) => fs.iter().flat_map(Formula::conjuncts).collect(),
+            Formula::True => Vec::new(),
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Number of AST nodes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 1,
+            Formula::Cmp(_, a, b) => 1 + a.size() + b.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Not(f) => 1 + f.size(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(r) => write!(f, "{r}"),
+            Term::Var(v) => write!(f, "x{}", v.index()),
+            Term::Neg(a) => write!(f, "(-{a})"),
+            Term::Add(a, b) => write!(f, "({a} + {b})"),
+            Term::Sub(a, b) => write!(f, "({a} - {b})"),
+            Term::Mul(a, b) => write!(f, "({a} * {b})"),
+            Term::Div(a, b) => write!(f, "({a} / {b})"),
+            Term::Min(a, b) => write!(f, "min({a}, {b})"),
+            Term::Max(a, b) => write!(f, "max({a}, {b})"),
+            Term::Ite(c, a, b) => write!(f, "(if {c} then {a} else {b})"),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(g) => write!(f, "!({g})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::VarRegistry;
+
+    fn xy() -> (VarRegistry, VarId, VarId) {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let y = r.intern("y");
+        (r, x, y)
+    }
+
+    #[test]
+    fn cmp_op_flip_negate() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.flip().flip(), op);
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_op_apply() {
+        let a = Rat::from_int(1);
+        let b = Rat::from_int(2);
+        assert!(CmpOp::Lt.apply(&a, &b));
+        assert!(!CmpOp::Gt.apply(&a, &b));
+        assert!(CmpOp::Ne.apply(&a, &b));
+        assert!(CmpOp::Eq.apply(&a, &a));
+        assert!(CmpOp::Le.apply(&a, &a));
+        assert!(CmpOp::Ge.apply(&a, &a));
+    }
+
+    #[test]
+    fn vars_collection() {
+        let (_, x, y) = xy();
+        let t = Term::var(x).mul(Term::var(y)).add(Term::var(x));
+        assert_eq!(t.vars(), vec![x, y]);
+        let f = t.clone().ge(Term::int(0));
+        assert_eq!(f.vars(), vec![x, y]);
+    }
+
+    #[test]
+    fn substitution() {
+        let (_, x, y) = xy();
+        let t = Term::var(x).add(Term::var(y));
+        let s = t.substitute(&|v| if v == x { Some(Term::int(5)) } else { None });
+        assert_eq!(s, Term::int(5).add(Term::var(y)));
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let (_, x, _) = xy();
+        let a = Term::var(x).ge(Term::int(0));
+        let b = Term::var(x).le(Term::int(1));
+        let c = Term::var(x).ne_t(Term::int(2));
+        let f = Formula::and(vec![a.clone(), Formula::and(vec![b.clone(), c.clone()])]);
+        assert_eq!(f.conjuncts(), vec![a, b, c]);
+        assert_eq!(Formula::True.conjuncts(), Vec::<Formula>::new());
+    }
+
+    #[test]
+    fn display_round() {
+        let (_, x, y) = xy();
+        let t = Term::var(x).mul(Term::var(y));
+        assert_eq!(t.to_string(), "(x0 * x1)");
+        let f = t.gt(Term::int(3));
+        assert_eq!(f.to_string(), "(x0 * x1) > 3");
+    }
+
+    #[test]
+    fn sizes() {
+        let (_, x, y) = xy();
+        assert_eq!(Term::var(x).size(), 1);
+        assert_eq!(Term::var(x).add(Term::var(y)).size(), 3);
+        let f = Term::var(x).lt(Term::var(y));
+        assert_eq!(f.size(), 3);
+        let ite = Term::ite(f, Term::int(1), Term::int(0));
+        assert_eq!(ite.size(), 6);
+    }
+}

@@ -1,0 +1,39 @@
+//! Exact rational linear programming.
+//!
+//! The SWAN-style traffic-engineering substrate (`cso-netsim`) formulates
+//! bandwidth allocation as linear programs: throughput maximization, the
+//! ε-penalized latency objective of SWAN, iterative max-min fairness, and
+//! the Danna et al. fairness/throughput balance. This crate solves those
+//! LPs *exactly* over [`cso_numeric::Rat`] with a dense two-phase simplex
+//! using Bland's rule (which guarantees termination even on degenerate
+//! problems). Problem sizes in this workspace are tens of variables, where
+//! exactness is worth far more than speed: allocations feed the preference
+//! oracle, and floating-point ties would make experiments irreproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use cso_lp::{LpProblem, LpOutcome};
+//! use cso_numeric::Rat;
+//!
+//! // maximize x + y  s.t.  x + 2y <= 4, 3x + y <= 6, x,y >= 0
+//! let mut lp = LpProblem::maximize(2);
+//! lp.set_objective_coeff(0, Rat::from_int(1));
+//! lp.set_objective_coeff(1, Rat::from_int(1));
+//! lp.add_le(vec![(0, Rat::from_int(1)), (1, Rat::from_int(2))], Rat::from_int(4));
+//! lp.add_le(vec![(0, Rat::from_int(3)), (1, Rat::from_int(1))], Rat::from_int(6));
+//! match lp.solve() {
+//!     LpOutcome::Optimal(sol) => {
+//!         assert_eq!(sol.objective, Rat::from_frac(14, 5));
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, ConstraintOp, LpOutcome, LpProblem, LpSolution};

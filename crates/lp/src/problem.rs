@@ -1,0 +1,170 @@
+//! LP problem builder and result types.
+//!
+//! All variables are implicitly non-negative (`x >= 0`), which is the
+//! natural form for bandwidth allocation; upper bounds are ordinary `<=`
+//! constraints.
+
+use cso_numeric::Rat;
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a·x <= b`
+    Le,
+    /// `a·x >= b`
+    Ge,
+    /// `a·x == b`
+    Eq,
+}
+
+/// A linear constraint `sum(coeff_i * x_i) op rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse coefficients as `(variable index, coefficient)`.
+    pub coeffs: Vec<(usize, Rat)>,
+    /// The comparison direction.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: Rat,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// The optimal objective value (for the declared direction).
+    pub objective: Rat,
+    /// Exact variable values.
+    pub values: Vec<Rat>,
+}
+
+/// Result of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal vertex solution.
+    Optimal(LpSolution),
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// The solution, if optimal.
+    #[must_use]
+    pub fn solution(&self) -> Option<&LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    pub(crate) n_vars: usize,
+    pub(crate) objective: Vec<Rat>,
+    pub(crate) maximize: bool,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// A maximization problem over `n_vars` non-negative variables with a
+    /// zero objective (set coefficients afterwards).
+    #[must_use]
+    pub fn maximize(n_vars: usize) -> LpProblem {
+        LpProblem {
+            n_vars,
+            objective: vec![Rat::zero(); n_vars],
+            maximize: true,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// A minimization problem over `n_vars` non-negative variables.
+    #[must_use]
+    pub fn minimize(n_vars: usize) -> LpProblem {
+        LpProblem { maximize: false, ..LpProblem::maximize(n_vars) }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Set one objective coefficient.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn set_objective_coeff(&mut self, var: usize, coeff: Rat) {
+        assert!(var < self.n_vars, "objective variable out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Add a `<=` constraint.
+    pub fn add_le(&mut self, coeffs: Vec<(usize, Rat)>, rhs: Rat) {
+        self.add(Constraint { coeffs, op: ConstraintOp::Le, rhs });
+    }
+
+    /// Add a `>=` constraint.
+    pub fn add_ge(&mut self, coeffs: Vec<(usize, Rat)>, rhs: Rat) {
+        self.add(Constraint { coeffs, op: ConstraintOp::Ge, rhs });
+    }
+
+    /// Add an `==` constraint.
+    pub fn add_eq(&mut self, coeffs: Vec<(usize, Rat)>, rhs: Rat) {
+        self.add(Constraint { coeffs, op: ConstraintOp::Eq, rhs });
+    }
+
+    /// Add a prepared constraint.
+    ///
+    /// # Panics
+    /// Panics if any referenced variable is out of range.
+    pub fn add(&mut self, c: Constraint) {
+        for (v, _) in &c.coeffs {
+            assert!(*v < self.n_vars, "constraint variable out of range");
+        }
+        self.constraints.push(c);
+    }
+
+    /// Solve with two-phase simplex.
+    #[must_use]
+    pub fn solve(&self) -> LpOutcome {
+        crate::simplex::solve(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_basics() {
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coeff(0, Rat::from_int(3));
+        lp.add_le(vec![(0, Rat::one())], Rat::from_int(7));
+        assert_eq!(lp.n_vars(), 2);
+        assert_eq!(lp.n_constraints(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_var() {
+        let mut lp = LpProblem::maximize(1);
+        lp.add_le(vec![(3, Rat::one())], Rat::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_objective_var() {
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective_coeff(2, Rat::one());
+    }
+}

@@ -1,0 +1,417 @@
+//! Dense two-phase simplex over exact rationals with Bland's rule.
+//!
+//! Standard textbook construction:
+//!
+//! 1. Rewrite every constraint as an equality by adding slack (`<=`) or
+//!    subtracting surplus (`>=`) variables, then flip rows so all right-hand
+//!    sides are non-negative.
+//! 2. **Phase 1**: add one artificial variable per row and minimize their
+//!    sum starting from the trivially feasible artificial basis. A nonzero
+//!    optimum means the original LP is infeasible.
+//! 3. **Phase 2**: drive artificial variables out of the basis, restore the
+//!    original objective, and optimize.
+//!
+//! Bland's anti-cycling rule (choose the lowest-index eligible entering and
+//! leaving variable) guarantees termination on degenerate problems; with
+//! exact rational pivots there is no numerical drift, so the returned vertex
+//! is exactly optimal.
+
+use crate::problem::{ConstraintOp, LpOutcome, LpProblem, LpSolution};
+use cso_numeric::Rat;
+
+/// Dense simplex tableau.
+struct Tableau {
+    /// m x (n + 1) rows; last column is the RHS.
+    rows: Vec<Vec<Rat>>,
+    /// Objective row (length n + 1); we *maximize* `obj · x`, and the last
+    /// entry accumulates the objective value (negated).
+    obj: Vec<Rat>,
+    /// basis[r] = column index basic in row r.
+    basis: Vec<usize>,
+    n_cols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, r: usize) -> &Rat {
+        &self.rows[r][self.n_cols]
+    }
+
+    /// Pivot on (row, col): make column `col` basic in row `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.rows[row][col].clone();
+        debug_assert!(!piv.is_zero(), "pivot on zero element");
+        let inv = piv.recip();
+        for x in &mut self.rows[row] {
+            *x = &*x * &inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (r, rr) in self.rows.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = rr[col].clone();
+            if factor.is_zero() {
+                continue;
+            }
+            for (c, x) in rr.iter_mut().enumerate() {
+                *x = &*x - &(&factor * &pivot_row[c]);
+            }
+        }
+        let factor = self.obj[col].clone();
+        if !factor.is_zero() {
+            for (c, x) in self.obj.iter_mut().enumerate() {
+                *x = &*x - &(&factor * &pivot_row[c]);
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run simplex iterations until optimal or unbounded. `allowed_cols`
+    /// restricts entering variables (used in phase 2 to exclude
+    /// artificials). Returns `false` if unbounded.
+    fn optimize(&mut self, allowed_cols: usize) -> bool {
+        loop {
+            // Bland: entering column = lowest index with positive reduced
+            // cost (we maximize; obj row holds c_j - z_j).
+            let mut entering = None;
+            for c in 0..allowed_cols {
+                if self.obj[c].is_positive() {
+                    entering = Some(c);
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                return true; // optimal
+            };
+            // Ratio test; Bland ties by lowest basis variable index.
+            let mut leaving: Option<(usize, Rat)> = None;
+            for r in 0..self.rows.len() {
+                let a = &self.rows[r][col];
+                if !a.is_positive() {
+                    continue;
+                }
+                let ratio = self.rhs(r) / a;
+                let better = match &leaving {
+                    None => true,
+                    Some((lr, lratio)) => {
+                        ratio < *lratio
+                            || (ratio == *lratio && self.basis[r] < self.basis[*lr])
+                    }
+                };
+                if better {
+                    leaving = Some((r, ratio));
+                }
+            }
+            let Some((row, _)) = leaving else {
+                return false; // unbounded in `col`
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solve an [`LpProblem`] exactly.
+#[must_use]
+pub fn solve(lp: &LpProblem) -> LpOutcome {
+    let n = lp.n_vars;
+    let m = lp.constraints.len();
+
+    // Count extra columns: one slack/surplus per inequality, one artificial
+    // per row (we add artificials everywhere for uniformity; slack columns
+    // double as the initial basis only when the row is `<=` with b >= 0 —
+    // uniform artificials keep the code simple and exactness makes the cost
+    // negligible at our sizes).
+    let n_slack = lp
+        .constraints
+        .iter()
+        .filter(|c| c.op != ConstraintOp::Eq)
+        .count();
+    let n_total = n + n_slack + m; // structural + slack + artificial
+    let art_base = n + n_slack;
+
+    // Build rows.
+    let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(m);
+    let mut slack_idx = 0usize;
+    for (r, c) in lp.constraints.iter().enumerate() {
+        let mut row = vec![Rat::zero(); n_total + 1];
+        for (v, coef) in &c.coeffs {
+            row[*v] = &row[*v] + coef; // accumulate duplicate entries
+        }
+        match c.op {
+            ConstraintOp::Le => {
+                row[n + slack_idx] = Rat::one();
+                slack_idx += 1;
+            }
+            ConstraintOp::Ge => {
+                row[n + slack_idx] = -Rat::one();
+                slack_idx += 1;
+            }
+            ConstraintOp::Eq => {}
+        }
+        row[n_total] = c.rhs.clone();
+        // Normalize RHS sign.
+        if row[n_total].is_negative() {
+            for x in row.iter_mut() {
+                *x = -&*x;
+            }
+        }
+        // Artificial variable for this row.
+        row[art_base + r] = Rat::one();
+        rows.push(row);
+    }
+
+    // Phase 1: maximize -(sum of artificials)  ==  minimize sum.
+    let mut obj = vec![Rat::zero(); n_total + 1];
+    for r in 0..m {
+        obj[art_base + r] = -Rat::one();
+    }
+    let mut t = Tableau {
+        rows,
+        obj,
+        basis: (0..m).map(|r| art_base + r).collect(),
+        n_cols: n_total,
+    };
+    // Price out the artificial basis (make reduced costs of basics zero).
+    for r in 0..m {
+        let factor = t.obj[t.basis[r]].clone();
+        if !factor.is_zero() {
+            let row = t.rows[r].clone();
+            for (c, x) in t.obj.iter_mut().enumerate() {
+                *x = &*x - &(&factor * &row[c]);
+            }
+        }
+    }
+    let ok = t.optimize(n_total);
+    debug_assert!(ok, "phase 1 cannot be unbounded");
+    // Objective value of phase 1 is -obj[n_total] (we kept -z in the cell).
+    if !t.obj[n_total].is_zero() {
+        return LpOutcome::Infeasible;
+    }
+
+    // Drive any artificial still in the basis out (degenerate rows).
+    for r in 0..m {
+        if t.basis[r] >= art_base {
+            // Find any non-artificial column with nonzero entry in row r.
+            let mut found = None;
+            for c in 0..art_base {
+                if !t.rows[r][c].is_zero() {
+                    found = Some(c);
+                    break;
+                }
+            }
+            if let Some(c) = found {
+                t.pivot(r, c);
+            }
+            // If none: the row is all-zero (redundant constraint); the
+            // artificial stays basic at value zero, which is harmless as
+            // long as it can never re-enter (phase 2 excludes it).
+        }
+    }
+
+    // Phase 2: restore the real objective over structural + slack columns.
+    let sign = if lp.maximize { Rat::one() } else { -Rat::one() };
+    let mut obj2 = vec![Rat::zero(); n_total + 1];
+    for (v, c) in lp.objective.iter().enumerate() {
+        obj2[v] = &sign * c;
+    }
+    t.obj = obj2;
+    // Price out current basis.
+    for r in 0..m {
+        let factor = t.obj[t.basis[r]].clone();
+        if !factor.is_zero() {
+            let row = t.rows[r].clone();
+            for (c, x) in t.obj.iter_mut().enumerate() {
+                *x = &*x - &(&factor * &row[c]);
+            }
+        }
+    }
+    if !t.optimize(art_base) {
+        return LpOutcome::Unbounded;
+    }
+
+    // Extract the solution.
+    let mut values = vec![Rat::zero(); n];
+    for r in 0..m {
+        if t.basis[r] < n {
+            values[t.basis[r]] = t.rhs(r).clone();
+        }
+    }
+    // The objective cell holds -z for the maximized form.
+    let z = -&t.obj[n_total];
+    let objective = if lp.maximize { z } else { -z };
+    LpOutcome::Optimal(LpSolution { objective, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LpProblem;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+
+    fn rf(p: i64, q: i64) -> Rat {
+        Rat::from_frac(p, q)
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => z = 36 at (2, 6)
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coeff(0, r(3));
+        lp.set_objective_coeff(1, r(5));
+        lp.add_le(vec![(0, r(1))], r(4));
+        lp.add_le(vec![(1, r(2))], r(12));
+        lp.add_le(vec![(0, r(3)), (1, r(2))], r(18));
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, r(36));
+        assert_eq!(sol.values, vec![r(2), r(6)]);
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6 => optimum 14/5 at (8/5, 6/5)
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coeff(0, r(1));
+        lp.set_objective_coeff(1, r(1));
+        lp.add_le(vec![(0, r(1)), (1, r(2))], r(4));
+        lp.add_le(vec![(0, r(3)), (1, r(1))], r(6));
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, rf(14, 5));
+        assert_eq!(sol.values, vec![rf(8, 5), rf(6, 5)]);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 => 9 at (4, 0)? check: obj(4,0)=8
+        // x>=1 satisfied; so optimum is 8 at (4,0).
+        let mut lp = LpProblem::minimize(2);
+        lp.set_objective_coeff(0, r(2));
+        lp.set_objective_coeff(1, r(3));
+        lp.add_ge(vec![(0, r(1)), (1, r(1))], r(4));
+        lp.add_ge(vec![(0, r(1))], r(1));
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, r(8));
+        assert_eq!(sol.values, vec![r(4), r(0)]);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x s.t. x + y == 5, y >= 2 => x = 3
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coeff(0, r(1));
+        lp.add_eq(vec![(0, r(1)), (1, r(1))], r(5));
+        lp.add_ge(vec![(1, r(1))], r(2));
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, r(3));
+        assert_eq!(sol.values, vec![r(3), r(2)]);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective_coeff(0, r(1));
+        lp.add_le(vec![(0, r(1))], r(1));
+        lp.add_ge(vec![(0, r(1))], r(2));
+        assert_eq!(lp.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coeff(0, r(1));
+        lp.add_ge(vec![(0, r(1)), (1, r(-1))], r(0));
+        assert_eq!(lp.solve(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y <= -1 with x, y >= 0: means y >= x + 1.
+        // max x s.t. x - y <= -1, y <= 3 => x = 2.
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coeff(0, r(1));
+        lp.add_le(vec![(0, r(1)), (1, r(-1))], r(-1));
+        lp.add_le(vec![(1, r(1))], r(3));
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, r(2));
+    }
+
+    #[test]
+    fn degenerate_beale_cycling_guarded() {
+        // Beale's classic cycling example (cycles under Dantzig's rule);
+        // Bland's rule must terminate with the optimum 1/20... The standard
+        // form: max 0.75x1 - 150x2 + 0.02x3 - 6x4
+        // s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 <= 0
+        //      0.5x1 - 90x2 - 0.02x3 + 3x4 <= 0
+        //      x3 <= 1
+        let mut lp = LpProblem::maximize(4);
+        lp.set_objective_coeff(0, rf(3, 4));
+        lp.set_objective_coeff(1, r(-150));
+        lp.set_objective_coeff(2, rf(1, 50));
+        lp.set_objective_coeff(3, r(-6));
+        lp.add_le(
+            vec![(0, rf(1, 4)), (1, r(-60)), (2, rf(-1, 25)), (3, r(9))],
+            r(0),
+        );
+        lp.add_le(
+            vec![(0, rf(1, 2)), (1, r(-90)), (2, rf(-1, 50)), (3, r(3))],
+            r(0),
+        );
+        lp.add_le(vec![(2, r(1))], r(1));
+        let sol = lp.solve().solution().cloned().expect("must terminate");
+        assert_eq!(sol.objective, rf(1, 20));
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y == 2 stated twice (redundant row leaves an artificial basic
+        // at zero). max x + y => 2.
+        let mut lp = LpProblem::maximize(2);
+        lp.set_objective_coeff(0, r(1));
+        lp.set_objective_coeff(1, r(1));
+        lp.add_eq(vec![(0, r(1)), (1, r(1))], r(2));
+        lp.add_eq(vec![(0, r(1)), (1, r(1))], r(2));
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, r(2));
+    }
+
+    #[test]
+    fn duplicate_coefficients_accumulate() {
+        // Constraint written as x + x <= 4 == 2x <= 4.
+        let mut lp = LpProblem::maximize(1);
+        lp.set_objective_coeff(0, r(1));
+        lp.add_le(vec![(0, r(1)), (0, r(1))], r(4));
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, r(2));
+    }
+
+    #[test]
+    fn zero_objective_feasibility_check() {
+        let mut lp = LpProblem::maximize(2);
+        lp.add_le(vec![(0, r(1)), (1, r(1))], r(1));
+        let sol = lp.solve().solution().cloned().expect("feasible");
+        assert_eq!(sol.objective, r(0));
+    }
+
+    #[test]
+    fn empty_problem_trivially_optimal() {
+        let lp = LpProblem::maximize(2);
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, r(0));
+        assert_eq!(sol.values, vec![r(0), r(0)]);
+    }
+
+    #[test]
+    fn max_min_fair_two_flows_shared_link() {
+        // Classic: two flows share a unit link; maximize t with
+        // x >= t, y >= t, x + y <= 1  => t = 1/2.
+        let mut lp = LpProblem::maximize(3); // x, y, t
+        lp.set_objective_coeff(2, r(1));
+        lp.add_ge(vec![(0, r(1)), (2, r(-1))], r(0));
+        lp.add_ge(vec![(1, r(1)), (2, r(-1))], r(0));
+        lp.add_le(vec![(0, r(1)), (1, r(1))], r(1));
+        let sol = lp.solve().solution().cloned().expect("optimal");
+        assert_eq!(sol.objective, rf(1, 2));
+    }
+}

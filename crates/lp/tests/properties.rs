@@ -1,0 +1,128 @@
+//! Property-based tests for the exact simplex.
+//!
+//! For random small LPs we verify the two halves of the optimality
+//! certificate that don't require implementing duality: returned solutions
+//! are feasible and achieve the reported objective, and they weakly
+//! dominate a cloud of random feasible points (no feasible sample may beat
+//! the reported optimum).
+
+use cso_lp::{LpOutcome, LpProblem};
+use cso_numeric::Rat;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n: usize,
+    obj: Vec<i64>,
+    rows: Vec<(Vec<i64>, i64)>, // coeffs (dense), rhs; all <=
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..5).prop_flat_map(|n| {
+        let obj = prop::collection::vec(-5i64..=5, n);
+        let rows = prop::collection::vec(
+            (prop::collection::vec(0i64..=4, n), 1i64..=20),
+            1..5,
+        );
+        (Just(n), obj, rows).prop_map(|(n, obj, rows)| RandomLp { n, obj, rows })
+    })
+}
+
+fn build(lp: &RandomLp) -> LpProblem {
+    let mut p = LpProblem::maximize(lp.n);
+    for (i, &c) in lp.obj.iter().enumerate() {
+        p.set_objective_coeff(i, Rat::from_int(c));
+    }
+    for (coeffs, rhs) in &lp.rows {
+        let sparse: Vec<(usize, Rat)> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i, Rat::from_int(c)))
+            .collect();
+        p.add_le(sparse, Rat::from_int(*rhs));
+    }
+    // Box the variables so everything is bounded: x_i <= 50.
+    for i in 0..lp.n {
+        p.add_le(vec![(i, Rat::one())], Rat::from_int(50));
+    }
+    p
+}
+
+fn feasible(lp: &RandomLp, x: &[Rat]) -> bool {
+    for (coeffs, rhs) in &lp.rows {
+        let mut acc = Rat::zero();
+        for (i, &c) in coeffs.iter().enumerate() {
+            acc += &(Rat::from_int(c) * &x[i]);
+        }
+        if acc > Rat::from_int(*rhs) {
+            return false;
+        }
+    }
+    x.iter().all(|v| !v.is_negative() && *v <= Rat::from_int(50))
+}
+
+fn objective(lp: &RandomLp, x: &[Rat]) -> Rat {
+    let mut acc = Rat::zero();
+    for (i, &c) in lp.obj.iter().enumerate() {
+        acc += &(Rat::from_int(c) * &x[i]);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn solutions_are_feasible_and_consistent(spec in arb_lp()) {
+        let p = build(&spec);
+        match p.solve() {
+            LpOutcome::Optimal(sol) => {
+                prop_assert!(feasible(&spec, &sol.values), "infeasible solution returned");
+                prop_assert_eq!(objective(&spec, &sol.values), sol.objective.clone(),
+                    "reported objective mismatch");
+            }
+            LpOutcome::Infeasible => {
+                // Origin is always feasible for <= with positive rhs.
+                let zeros = vec![Rat::zero(); spec.n];
+                prop_assert!(!feasible(&spec, &zeros), "claimed infeasible but origin feasible");
+            }
+            LpOutcome::Unbounded => {
+                // Impossible: variables are boxed at 50.
+                prop_assert!(false, "boxed LP cannot be unbounded");
+            }
+        }
+    }
+
+    #[test]
+    fn no_random_feasible_point_beats_optimum(
+        spec in arb_lp(),
+        samples in prop::collection::vec(prop::collection::vec(0i64..=50, 4), 8)
+    ) {
+        let p = build(&spec);
+        if let LpOutcome::Optimal(sol) = p.solve() {
+            for s in &samples {
+                let x: Vec<Rat> = (0..spec.n).map(|i| Rat::from_int(s[i % s.len()])).collect();
+                if feasible(&spec, &x) {
+                    prop_assert!(objective(&spec, &x) <= sol.objective,
+                        "random feasible point beats 'optimal' solution");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_objective_scales_optimum(spec in arb_lp(), k in 1i64..5) {
+        let p = build(&spec);
+        let mut scaled_spec = spec.clone();
+        for c in &mut scaled_spec.obj { *c *= k; }
+        let q = build(&scaled_spec);
+        match (p.solve(), q.solve()) {
+            (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+                prop_assert_eq!(&a.objective * &Rat::from_int(k), b.objective);
+            }
+            (x, y) => prop_assert_eq!(
+                std::mem::discriminant(&x), std::mem::discriminant(&y)
+            ),
+        }
+    }
+}

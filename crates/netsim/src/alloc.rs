@@ -1,0 +1,661 @@
+//! LP-based bandwidth allocators.
+//!
+//! All allocators share one variable layout: `x[i][j]` is the bandwidth of
+//! flow `i` on its `j`-th tunnel; the flow allocation is `b_i = Σ_j x_ij`.
+//! Shared constraints: link capacities and per-flow demands. The allocators
+//! differ only in objective / iteration structure:
+//!
+//! * [`Allocator::MaxThroughput`] — maximize `Σ b_i` (SWAN's throughput
+//!   formulation).
+//! * [`Allocator::SwanEpsilon`] — maximize `Σ b_i − ε·Σ w_j·b_ij` where
+//!   `w_j` is tunnel latency: Eq. (2.1) of the paper. Sweeping ε produces
+//!   the throughput/latency trade-off curve comparative synthesis ranks.
+//! * [`Allocator::MaxMinFair`] — progressive water-filling with exact LPs:
+//!   the standard iterative algorithm freezing saturated flows.
+//! * [`Allocator::WeightedMaxMin`] — same with per-flow weights.
+//! * [`Allocator::DannaBalance`] — Danna et al.: given `q_t`, guarantee
+//!   total throughput ≥ `q_t · T_opt`, then maximize the fraction `q_f` of
+//!   the max-min fair share every flow is guaranteed.
+//! * [`Allocator::ProportionalFairApprox`] — maximize a piecewise-linear
+//!   concave approximation of `Σ w_i · log(b_i)`.
+
+use crate::flow::FlowSpec;
+use crate::topology::Topology;
+use crate::tunnel::{k_shortest_tunnels, Tunnel};
+use cso_lp::{LpOutcome, LpProblem};
+use cso_numeric::Rat;
+
+/// A traffic-engineering problem instance: topology, flows, and the tunnel
+/// sets the flows may use.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The network.
+    pub topo: Topology,
+    /// The flows.
+    pub flows: Vec<FlowSpec>,
+    /// Tunnels per flow (same order as `flows`).
+    pub tunnels: Vec<Vec<Tunnel>>,
+}
+
+impl Instance {
+    /// Build an instance by computing up to `k` lowest-latency tunnels per
+    /// flow.
+    ///
+    /// # Panics
+    /// Panics if some flow has no tunnel (disconnected endpoints).
+    #[must_use]
+    pub fn build(topo: Topology, flows: Vec<FlowSpec>, k: usize) -> Instance {
+        let tunnels: Vec<Vec<Tunnel>> = flows
+            .iter()
+            .map(|f| {
+                let t = k_shortest_tunnels(&topo, f.src, f.dst, k);
+                assert!(
+                    !t.is_empty(),
+                    "flow {}->{} has no tunnel",
+                    topo.node_name(f.src),
+                    topo.node_name(f.dst)
+                );
+                t
+            })
+            .collect();
+        Instance { topo, flows, tunnels }
+    }
+
+    /// Total number of tunnel variables.
+    #[must_use]
+    pub fn n_vars(&self) -> usize {
+        self.tunnels.iter().map(Vec::len).sum()
+    }
+
+    /// Flat variable index of flow `i`, tunnel `j`.
+    #[must_use]
+    pub fn var(&self, i: usize, j: usize) -> usize {
+        let mut base = 0;
+        for t in &self.tunnels[..i] {
+            base += t.len();
+        }
+        base + j
+    }
+}
+
+/// A bandwidth allocation: per-flow totals and per-tunnel splits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// `b_i` per flow.
+    pub per_flow: Vec<Rat>,
+    /// `x_ij` per flow and tunnel.
+    pub per_tunnel: Vec<Vec<Rat>>,
+}
+
+impl Allocation {
+    /// Total allocated throughput `Σ b_i`.
+    #[must_use]
+    pub fn total(&self) -> Rat {
+        let mut acc = Rat::zero();
+        for b in &self.per_flow {
+            acc += b;
+        }
+        acc
+    }
+
+    /// Build an allocation from a flat LP solution vector (used by the
+    /// allocators in this crate and by [`crate::priority`]).
+    #[must_use]
+    pub fn from_lp_values(inst: &Instance, values: &[Rat]) -> Allocation {
+        Allocation::from_values(inst, values)
+    }
+
+    fn from_values(inst: &Instance, values: &[Rat]) -> Allocation {
+        let mut per_tunnel = Vec::with_capacity(inst.flows.len());
+        let mut per_flow = Vec::with_capacity(inst.flows.len());
+        for (i, tunnels) in inst.tunnels.iter().enumerate() {
+            let xs: Vec<Rat> =
+                (0..tunnels.len()).map(|j| values[inst.var(i, j)].clone()).collect();
+            let mut b = Rat::zero();
+            for x in &xs {
+                b += x;
+            }
+            per_tunnel.push(xs);
+            per_flow.push(b);
+        }
+        Allocation { per_flow, per_tunnel }
+    }
+}
+
+/// The allocation strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Allocator {
+    /// Maximize total throughput.
+    MaxThroughput,
+    /// SWAN Eq. (2.1): throughput minus ε-weighted latency penalty.
+    SwanEpsilon {
+        /// The latency-penalty knob ε.
+        epsilon: Rat,
+    },
+    /// Progressive-filling max-min fairness.
+    MaxMinFair,
+    /// Weighted max-min fairness using each flow's `weight`.
+    WeightedMaxMin,
+    /// Danna et al. balance: throughput ≥ `q_t · T_opt`, maximize the
+    /// guaranteed fraction of max-min fair share.
+    DannaBalance {
+        /// Required fraction of optimal throughput, in `[0, 1]`.
+        q_t: Rat,
+    },
+    /// Piecewise-linear approximation of proportional fairness
+    /// (`Σ w_i log b_i`) with the given number of segments.
+    ProportionalFairApprox {
+        /// Number of linear segments (≥ 2).
+        segments: usize,
+    },
+}
+
+/// Errors from allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The LP was infeasible (should not happen for well-formed instances).
+    Infeasible,
+    /// The LP was unbounded (indicates a modeling bug).
+    Unbounded,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Infeasible => write!(f, "allocation LP infeasible"),
+            AllocError::Unbounded => write!(f, "allocation LP unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl Allocator {
+    /// Solve the instance with this strategy.
+    ///
+    /// # Errors
+    /// Returns [`AllocError`] if the underlying LP fails (cannot happen for
+    /// well-formed instances: `x = 0` is always feasible).
+    pub fn allocate(&self, inst: &Instance) -> Result<Allocation, AllocError> {
+        match self {
+            Allocator::MaxThroughput => {
+                solve_linear(inst, |_i, _j, _t| Rat::one(), &[])
+            }
+            Allocator::SwanEpsilon { epsilon } => solve_linear(
+                inst,
+                |_i, _j, t| Rat::one() - &(epsilon * &t.latency),
+                &[],
+            ),
+            Allocator::MaxMinFair => max_min_fair(inst, false),
+            Allocator::WeightedMaxMin => max_min_fair(inst, true),
+            Allocator::DannaBalance { q_t } => danna_balance(inst, q_t),
+            Allocator::ProportionalFairApprox { segments } => {
+                proportional_fair(inst, (*segments).max(2))
+            }
+        }
+    }
+}
+
+/// Add capacity and demand constraints shared by every allocator.
+fn add_shared_constraints(inst: &Instance, lp: &mut LpProblem) {
+    // Link capacities.
+    for (lid, link) in inst.topo.links().iter().enumerate() {
+        let mut coeffs = Vec::new();
+        for (i, tunnels) in inst.tunnels.iter().enumerate() {
+            for (j, t) in tunnels.iter().enumerate() {
+                if t.uses(crate::topology::LinkId(lid)) {
+                    coeffs.push((inst.var(i, j), Rat::one()));
+                }
+            }
+        }
+        if !coeffs.is_empty() {
+            lp.add_le(coeffs, link.capacity.clone());
+        }
+    }
+    // Demands.
+    for (i, f) in inst.flows.iter().enumerate() {
+        let coeffs: Vec<(usize, Rat)> =
+            (0..inst.tunnels[i].len()).map(|j| (inst.var(i, j), Rat::one())).collect();
+        lp.add_le(coeffs, f.demand.clone());
+    }
+}
+
+/// Solve `maximize Σ_ij c(i, j) x_ij` with shared constraints plus
+/// `extra_lower`: pairs `(flow, bound)` forcing `b_i >= bound` (or `==`
+/// when the bool is true).
+fn solve_linear(
+    inst: &Instance,
+    coeff: impl Fn(usize, usize, &Tunnel) -> Rat,
+    extra: &[(usize, Rat, bool)],
+) -> Result<Allocation, AllocError> {
+    let mut lp = LpProblem::maximize(inst.n_vars());
+    for (i, tunnels) in inst.tunnels.iter().enumerate() {
+        for (j, t) in tunnels.iter().enumerate() {
+            lp.set_objective_coeff(inst.var(i, j), coeff(i, j, t));
+        }
+    }
+    add_shared_constraints(inst, &mut lp);
+    for (i, bound, exact) in extra {
+        let coeffs: Vec<(usize, Rat)> =
+            (0..inst.tunnels[*i].len()).map(|j| (inst.var(*i, j), Rat::one())).collect();
+        if *exact {
+            lp.add_eq(coeffs, bound.clone());
+        } else {
+            lp.add_ge(coeffs, bound.clone());
+        }
+    }
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => Ok(Allocation::from_values(inst, &sol.values)),
+        LpOutcome::Infeasible => Err(AllocError::Infeasible),
+        LpOutcome::Unbounded => Err(AllocError::Unbounded),
+    }
+}
+
+/// Progressive-filling max-min fairness (optionally weighted): repeatedly
+/// maximize the common (weighted) share `t` of all unfrozen flows, then
+/// freeze flows that cannot grow beyond the resulting share.
+fn max_min_fair(inst: &Instance, weighted: bool) -> Result<Allocation, AllocError> {
+    let n = inst.flows.len();
+    let mut frozen: Vec<Option<Rat>> = vec![None; n];
+
+    while frozen.iter().any(Option::is_none) {
+        // Variables: x_ij plus the share t (last variable).
+        let t_var = inst.n_vars();
+        let mut lp = LpProblem::maximize(t_var + 1);
+        lp.set_objective_coeff(t_var, Rat::one());
+        add_shared_constraints(inst, &mut lp);
+        for i in 0..n {
+            let mut coeffs: Vec<(usize, Rat)> =
+                (0..inst.tunnels[i].len()).map(|j| (inst.var(i, j), Rat::one())).collect();
+            match &frozen[i] {
+                Some(v) => {
+                    lp.add_eq(coeffs, v.clone());
+                }
+                None => {
+                    // b_i >= w_i * t  (w_i = 1 when unweighted), capped by
+                    // demand: a flow whose demand is below the share is
+                    // frozen at its demand in the freeze step.
+                    let w = if weighted { inst.flows[i].weight.clone() } else { Rat::one() };
+                    coeffs.push((t_var, -w));
+                    lp.add_ge(coeffs, Rat::zero());
+                }
+            }
+        }
+        // t cannot exceed any unfrozen flow's demand / weight, otherwise
+        // the demand cap makes the LP infeasible.
+        for i in 0..n {
+            if frozen[i].is_none() {
+                let w = if weighted { inst.flows[i].weight.clone() } else { Rat::one() };
+                lp.add_le(vec![(t_var, w)], inst.flows[i].demand.clone());
+            }
+        }
+        let t_star = match lp.solve() {
+            LpOutcome::Optimal(sol) => sol.values[t_var].clone(),
+            LpOutcome::Infeasible => return Err(AllocError::Infeasible),
+            LpOutcome::Unbounded => return Err(AllocError::Unbounded),
+        };
+
+        // Freeze every unfrozen flow that cannot exceed its share at t*.
+        let mut froze_any = false;
+        for i in 0..n {
+            if frozen[i].is_some() {
+                continue;
+            }
+            let w = if weighted { inst.flows[i].weight.clone() } else { Rat::one() };
+            let share = &w * &t_star;
+            if share >= inst.flows[i].demand {
+                frozen[i] = Some(inst.flows[i].demand.clone());
+                froze_any = true;
+                continue;
+            }
+            // Can flow i grow past its share while others keep theirs?
+            let mut probe = LpProblem::maximize(inst.n_vars());
+            for j in 0..inst.tunnels[i].len() {
+                probe.set_objective_coeff(inst.var(i, j), Rat::one());
+            }
+            add_shared_constraints(inst, &mut probe);
+            for k in 0..n {
+                if k == i {
+                    continue;
+                }
+                let coeffs: Vec<(usize, Rat)> = (0..inst.tunnels[k].len())
+                    .map(|j| (inst.var(k, j), Rat::one()))
+                    .collect();
+                match &frozen[k] {
+                    Some(v) => probe.add_eq(coeffs, v.clone()),
+                    None => {
+                        let wk =
+                            if weighted { inst.flows[k].weight.clone() } else { Rat::one() };
+                        let floor = (&wk * &t_star).min(inst.flows[k].demand.clone());
+                        probe.add_ge(coeffs, floor);
+                    }
+                }
+            }
+            match probe.solve() {
+                LpOutcome::Optimal(sol) => {
+                    if sol.objective <= share {
+                        frozen[i] = Some(share);
+                        froze_any = true;
+                    }
+                }
+                LpOutcome::Infeasible => return Err(AllocError::Infeasible),
+                LpOutcome::Unbounded => return Err(AllocError::Unbounded),
+            }
+        }
+        if !froze_any {
+            // Degenerate tie: freeze all remaining at their share.
+            for i in 0..n {
+                if frozen[i].is_none() {
+                    let w = if weighted { inst.flows[i].weight.clone() } else { Rat::one() };
+                    frozen[i] = Some((&w * &t_star).min(inst.flows[i].demand.clone()));
+                }
+            }
+        }
+    }
+
+    // Final pass: fix all b_i and recover tunnel splits minimizing latency
+    // (a tidy, deterministic completion).
+    let extra: Vec<(usize, Rat, bool)> = frozen
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i, v.expect("all frozen"), true))
+        .collect();
+    solve_linear(inst, |_i, _j, t| Rat::zero() - &(&t.latency / &Rat::from_int(1000)), &extra)
+}
+
+/// Danna et al. balance. `q_t` must be in `[0, 1]`.
+fn danna_balance(inst: &Instance, q_t: &Rat) -> Result<Allocation, AllocError> {
+    // T_opt.
+    let t_opt = Allocator::MaxThroughput.allocate(inst)?.total();
+    // Max-min fair shares m_i.
+    let fair = max_min_fair(inst, false)?;
+    // Maximize q_f: vars x_ij plus q_f.
+    let qf_var = inst.n_vars();
+    let mut lp = LpProblem::maximize(qf_var + 1);
+    lp.set_objective_coeff(qf_var, Rat::one());
+    add_shared_constraints(inst, &mut lp);
+    // q_f <= 1.
+    lp.add_le(vec![(qf_var, Rat::one())], Rat::one());
+    // b_i - q_f * m_i >= 0.
+    for (i, m_i) in fair.per_flow.iter().enumerate() {
+        let mut coeffs: Vec<(usize, Rat)> =
+            (0..inst.tunnels[i].len()).map(|j| (inst.var(i, j), Rat::one())).collect();
+        if !m_i.is_zero() {
+            coeffs.push((qf_var, -m_i));
+        }
+        lp.add_ge(coeffs, Rat::zero());
+    }
+    // Σ b_i >= q_t * T_opt.
+    let all: Vec<(usize, Rat)> = (0..inst.n_vars()).map(|v| (v, Rat::one())).collect();
+    lp.add_ge(all, q_t * &t_opt);
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => Ok(Allocation::from_values(inst, &sol.values)),
+        LpOutcome::Infeasible => Err(AllocError::Infeasible),
+        LpOutcome::Unbounded => Err(AllocError::Unbounded),
+    }
+}
+
+/// Piecewise-linear proportional fairness: maximize `Σ w_i u_i` with
+/// `u_i <= slope_k · b_i + intercept_k` for tangents of `log` at `segments`
+/// points spread over `(0, demand_i]`.
+fn proportional_fair(inst: &Instance, segments: usize) -> Result<Allocation, AllocError> {
+    let n = inst.flows.len();
+    let u_base = inst.n_vars();
+    // Variables: x_ij, then u_i (utility surrogates, shifted to stay >= 0).
+    let mut lp = LpProblem::maximize(u_base + n);
+    for (i, f) in inst.flows.iter().enumerate() {
+        lp.set_objective_coeff(u_base + i, f.weight.clone());
+    }
+    add_shared_constraints(inst, &mut lp);
+    for (i, f) in inst.flows.iter().enumerate() {
+        // Piecewise-linear concave surrogate for log: segment k has slope
+        // `1/p_k` with breakpoints `p_k = demand * k / segments`. Only the
+        // shape (decreasing marginal utility) matters for fairness, so an
+        // exact-rational surrogate replaces transcendental log. Continuity
+        // at the junction `b = p_k` between segments k and k+1 fixes the
+        // intercepts: `c_{k+1} = c_k + 1 - p_k / p_{k+1}`. A constant
+        // shift keeps `u` non-negative (our LP variables are `>= 0`).
+        let mut intercept = Rat::from_int(10);
+        let mut prev_p: Option<Rat> = None;
+        for k in 1..=segments {
+            let p = &f.demand * &Rat::from_frac(k as i64, segments as i64);
+            if p.is_zero() {
+                continue;
+            }
+            if let Some(pp) = &prev_p {
+                intercept = &intercept + &(Rat::one() - &(pp / &p));
+            }
+            // u_i <= b_i / p + intercept  =>  u_i - b_i/p <= intercept
+            let mut coeffs: Vec<(usize, Rat)> = (0..inst.tunnels[i].len())
+                .map(|j| (inst.var(i, j), -p.recip()))
+                .collect();
+            coeffs.push((u_base + i, Rat::one()));
+            lp.add_le(coeffs, intercept.clone());
+            prev_p = Some(p);
+        }
+    }
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => Ok(Allocation::from_values(inst, &sol.values)),
+        LpOutcome::Infeasible => Err(AllocError::Infeasible),
+        LpOutcome::Unbounded => Err(AllocError::Unbounded),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::TrafficClass;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+
+    /// Two flows over the two-path topology; combined capacity 12.
+    fn two_flow_instance() -> Instance {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![
+            FlowSpec::new(s, d, r(8), TrafficClass::Interactive),
+            FlowSpec::new(s, d, r(8), TrafficClass::Elastic),
+        ];
+        Instance::build(topo, flows, 3)
+    }
+
+    #[test]
+    fn max_throughput_fills_the_network() {
+        let inst = two_flow_instance();
+        let alloc = Allocator::MaxThroughput.allocate(&inst).unwrap();
+        // Total capacity src->dst is 2 + 10 = 12, demand totals 16 => 12.
+        assert_eq!(alloc.total(), r(12));
+    }
+
+    #[test]
+    fn swan_epsilon_zero_equals_max_throughput() {
+        let inst = two_flow_instance();
+        let a = Allocator::SwanEpsilon { epsilon: Rat::zero() }.allocate(&inst).unwrap();
+        assert_eq!(a.total(), r(12));
+    }
+
+    #[test]
+    fn swan_epsilon_large_avoids_slow_path() {
+        let inst = two_flow_instance();
+        // With a harsh latency penalty (eps = 1/20, so the 60 ms path costs
+        // 3 > 1 gain), only the 10 ms direct path (capacity 2) is used.
+        let a = Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 20) }
+            .allocate(&inst)
+            .unwrap();
+        assert_eq!(a.total(), r(2));
+        // And every used tunnel is the direct one.
+        for (i, xs) in a.per_tunnel.iter().enumerate() {
+            for (j, x) in xs.iter().enumerate() {
+                if x.is_positive() {
+                    assert_eq!(inst.tunnels[i][j].latency, r(10), "flow {i} tunnel {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swan_epsilon_sweep_is_monotone() {
+        let inst = two_flow_instance();
+        // Throughput decreases (weakly) as epsilon grows.
+        let mut last = None;
+        for (num, den) in [(0i64, 1i64), (1, 100), (1, 50), (1, 20), (1, 10)] {
+            let a = Allocator::SwanEpsilon { epsilon: Rat::from_frac(num, den) }
+                .allocate(&inst)
+                .unwrap();
+            let t = a.total();
+            if let Some(prev) = last {
+                assert!(t <= prev, "throughput must not grow with epsilon");
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn max_min_fair_splits_evenly() {
+        let inst = two_flow_instance();
+        let a = Allocator::MaxMinFair.allocate(&inst).unwrap();
+        // 12 Gbps shared by two flows with demand 8 each: 6 + 6.
+        assert_eq!(a.per_flow, vec![r(6), r(6)]);
+    }
+
+    #[test]
+    fn max_min_fair_respects_demands() {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![
+            FlowSpec::new(s, d, r(1), TrafficClass::Interactive), // tiny demand
+            FlowSpec::new(s, d, r(100), TrafficClass::Elastic),
+        ];
+        let inst = Instance::build(topo, flows, 3);
+        let a = Allocator::MaxMinFair.allocate(&inst).unwrap();
+        // Flow 0 saturates at 1; flow 1 takes the remaining 11.
+        assert_eq!(a.per_flow, vec![r(1), r(11)]);
+    }
+
+    #[test]
+    fn weighted_max_min_follows_weights() {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![
+            FlowSpec::new(s, d, r(100), TrafficClass::Elastic).with_weight(r(2)),
+            FlowSpec::new(s, d, r(100), TrafficClass::Elastic).with_weight(r(1)),
+        ];
+        let inst = Instance::build(topo, flows, 3);
+        let a = Allocator::WeightedMaxMin.allocate(&inst).unwrap();
+        // 12 split 2:1 => 8 and 4.
+        assert_eq!(a.per_flow, vec![r(8), r(4)]);
+    }
+
+    #[test]
+    fn danna_balance_interpolates() {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        // Asymmetric: flow 0 can only use the direct path region... use
+        // different demands to make fairness and throughput clash.
+        let flows = vec![
+            FlowSpec::new(s, d, r(2), TrafficClass::Interactive),
+            FlowSpec::new(s, d, r(100), TrafficClass::Elastic),
+        ];
+        let inst = Instance::build(topo, flows, 3);
+        // q_t = 1 forces max throughput (12 total).
+        let a = Allocator::DannaBalance { q_t: Rat::one() }.allocate(&inst).unwrap();
+        assert_eq!(a.total(), r(12));
+        // Fair shares are (2, 10); with q_t = 1 the guarantee q_f stays 1
+        // here because (2, 10) is simultaneously throughput-optimal.
+        assert_eq!(a.per_flow[0], r(2));
+        // Relaxed q_t keeps at least the fair floor.
+        let b = Allocator::DannaBalance { q_t: Rat::from_frac(1, 2) }
+            .allocate(&inst)
+            .unwrap();
+        assert!(b.per_flow[0] >= r(2));
+        assert!(&b.total() >= &r(6));
+    }
+
+    #[test]
+    fn proportional_fair_balances() {
+        // Equal weights: symmetric allocation, full utilization.
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![
+            FlowSpec::new(s, d, r(8), TrafficClass::Elastic).with_weight(r(1)),
+            FlowSpec::new(s, d, r(8), TrafficClass::Elastic).with_weight(r(1)),
+        ];
+        let inst = Instance::build(topo, flows, 3);
+        let a = Allocator::ProportionalFairApprox { segments: 6 }.allocate(&inst).unwrap();
+        // The piecewise approximation resolves fairness only down to one
+        // segment width (demand / segments = 4/3): allocations within the
+        // same segment are utility ties, and the LP returns some tie
+        // vertex. Equal flows must land within one segment of each other.
+        let gap = (&a.per_flow[0] - &a.per_flow[1]).abs();
+        assert!(gap <= Rat::from_frac(4, 3), "gap {gap} exceeds a segment");
+        assert_eq!(a.total(), r(12));
+    }
+
+    #[test]
+    fn proportional_fair_weighted_split() {
+        // Default class weights 4 (Interactive) vs 2 (Elastic) on a shared
+        // 12 Gbps bottleneck: weighted PF splits 8 / 4.
+        let inst = two_flow_instance();
+        let a = Allocator::ProportionalFairApprox { segments: 6 }.allocate(&inst).unwrap();
+        assert_eq!(a.per_flow, vec![r(8), r(4)]);
+    }
+
+    #[test]
+    fn allocations_respect_capacity() {
+        let inst = two_flow_instance();
+        for alloc in [
+            Allocator::MaxThroughput,
+            Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 100) },
+            Allocator::MaxMinFair,
+            Allocator::WeightedMaxMin,
+            Allocator::DannaBalance { q_t: Rat::from_frac(9, 10) },
+            Allocator::ProportionalFairApprox { segments: 4 },
+        ] {
+            let a = alloc.allocate(&inst).unwrap();
+            // Per-link usage <= capacity.
+            for (lid, link) in inst.topo.links().iter().enumerate() {
+                let mut used = Rat::zero();
+                for (i, xs) in a.per_tunnel.iter().enumerate() {
+                    for (j, x) in xs.iter().enumerate() {
+                        if inst.tunnels[i][j].uses(crate::topology::LinkId(lid)) {
+                            used += x;
+                        }
+                    }
+                }
+                assert!(used <= link.capacity, "{alloc:?} overflows link {lid}");
+            }
+            // Demands respected.
+            for (i, f) in inst.flows.iter().enumerate() {
+                assert!(a.per_flow[i] <= f.demand, "{alloc:?} exceeds demand {i}");
+                assert!(!a.per_flow[i].is_negative());
+            }
+        }
+    }
+
+    #[test]
+    fn wan5_allocators_run() {
+        let topo = Topology::wan5();
+        let ny = topo.node("NY").unwrap();
+        let sf = topo.node("SF").unwrap();
+        let sea = topo.node("SEA").unwrap();
+        let atl = topo.node("ATL").unwrap();
+        let flows = vec![
+            FlowSpec::new(ny, sf, r(6), TrafficClass::Interactive),
+            FlowSpec::new(ny, sea, r(5), TrafficClass::Elastic),
+            FlowSpec::new(atl, sf, r(4), TrafficClass::Background),
+        ];
+        let inst = Instance::build(topo, flows, 3);
+        let t = Allocator::MaxThroughput.allocate(&inst).unwrap().total();
+        let f = Allocator::MaxMinFair.allocate(&inst).unwrap().total();
+        assert!(t.is_positive());
+        assert!(f.is_positive());
+        assert!(f <= t, "fairness cannot beat optimal throughput");
+    }
+}

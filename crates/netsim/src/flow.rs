@@ -1,0 +1,109 @@
+//! Flows: traffic demands between node pairs, with priority classes.
+
+use crate::topology::NodeId;
+use cso_numeric::Rat;
+
+/// SWAN-style traffic classes, highest priority first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// Latency-sensitive interactive traffic.
+    Interactive,
+    /// Elastic traffic (e.g. data transfers) that wants throughput.
+    Elastic,
+    /// Background traffic that takes what is left.
+    Background,
+}
+
+impl TrafficClass {
+    /// All classes, highest priority first.
+    #[must_use]
+    pub fn all() -> [TrafficClass; 3] {
+        [TrafficClass::Interactive, TrafficClass::Elastic, TrafficClass::Background]
+    }
+
+    /// Default weight used by weighted fair allocators.
+    #[must_use]
+    pub fn default_weight(self) -> Rat {
+        match self {
+            TrafficClass::Interactive => Rat::from_int(4),
+            TrafficClass::Elastic => Rat::from_int(2),
+            TrafficClass::Background => Rat::one(),
+        }
+    }
+}
+
+/// A flow: a demand between two nodes in a traffic class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Offered demand in Gbps.
+    pub demand: Rat,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Weight for weighted-fair allocations (defaults to the class weight).
+    pub weight: Rat,
+}
+
+impl FlowSpec {
+    /// A flow with the class's default weight.
+    #[must_use]
+    pub fn new(src: NodeId, dst: NodeId, demand: Rat, class: TrafficClass) -> FlowSpec {
+        let weight = class.default_weight();
+        FlowSpec { src, dst, demand, class, weight }
+    }
+
+    /// Override the fairness weight.
+    #[must_use]
+    pub fn with_weight(mut self, weight: Rat) -> FlowSpec {
+        assert!(weight.is_positive(), "flow weight must be positive");
+        self.weight = weight;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_is_priority_order() {
+        assert!(TrafficClass::Interactive < TrafficClass::Elastic);
+        assert!(TrafficClass::Elastic < TrafficClass::Background);
+        assert_eq!(TrafficClass::all()[0], TrafficClass::Interactive);
+    }
+
+    #[test]
+    fn default_weights_decrease_with_priority() {
+        assert!(
+            TrafficClass::Interactive.default_weight()
+                > TrafficClass::Elastic.default_weight()
+        );
+        assert!(
+            TrafficClass::Elastic.default_weight()
+                > TrafficClass::Background.default_weight()
+        );
+    }
+
+    #[test]
+    fn flow_builder() {
+        let f = FlowSpec::new(
+            NodeId(0),
+            NodeId(1),
+            Rat::from_int(3),
+            TrafficClass::Elastic,
+        )
+        .with_weight(Rat::from_int(7));
+        assert_eq!(f.weight, Rat::from_int(7));
+        assert_eq!(f.demand, Rat::from_int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_weight_panics() {
+        let _ = FlowSpec::new(NodeId(0), NodeId(1), Rat::one(), TrafficClass::Elastic)
+            .with_weight(Rat::zero());
+    }
+}

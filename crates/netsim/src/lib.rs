@@ -1,0 +1,43 @@
+//! SWAN-like wide-area traffic-engineering substrate.
+//!
+//! The paper's motivating domain (§2) is inter-datacenter traffic
+//! engineering: given flows with demands and priority classes, and tunnels
+//! (paths) with latencies, decide per-flow bandwidth `b_i` and per-tunnel
+//! split `b_ij`. This crate provides that substrate from scratch so the
+//! comparative synthesizer has real designs to score:
+//!
+//! * [`topology`] — nodes, directed links with capacity and propagation
+//!   latency, and standard example WANs;
+//! * [`tunnel`] — k-shortest-path tunnel computation;
+//! * [`flow`] — demands, priority classes;
+//! * [`alloc`] — LP-based allocators over `cso-lp`: throughput
+//!   maximization, SWAN's ε-penalized objective (Eq. 2.1), iterative
+//!   max-min fairness, the Danna et al. (q_f, q_t) fairness/throughput
+//!   balance, weighted max-min, and approximated α-fair allocations;
+//! * [`metrics`] — extraction of the scenario metrics the oracle ranks
+//!   (total throughput, traffic-weighted average latency, minimum flow
+//!   share);
+//! * [`scenario_gen`] — feasible scenario generation: sweeping allocator
+//!   knobs (e.g. SWAN's ε) yields the metric combinations that comparative
+//!   synthesis asks the architect to rank, and the learnt objective is then
+//!   used to pick the best design among candidates.
+//!
+//! Everything is exact: allocations are rational LP solutions, so metric
+//! values feed the oracle without floating-point ties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod flow;
+pub mod metrics;
+pub mod priority;
+pub mod scenario_gen;
+pub mod topology;
+pub mod tunnel;
+
+pub use alloc::{Allocation, Allocator};
+pub use flow::{FlowSpec, TrafficClass};
+pub use metrics::DesignMetrics;
+pub use topology::{LinkId, NodeId, Topology};
+pub use tunnel::Tunnel;

@@ -1,0 +1,158 @@
+//! Extraction of scenario metrics from allocations.
+//!
+//! These are the numbers the architect ranks: total throughput, the
+//! traffic-weighted average latency of Eq. (2.1), and the fairness floor.
+
+use crate::alloc::{Allocation, Instance};
+use cso_numeric::Rat;
+use std::fmt;
+
+/// Metrics summarizing one network design (allocation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignMetrics {
+    /// Total throughput `Σ b_i`, Gbps.
+    pub throughput: Rat,
+    /// Traffic-weighted average latency `Σ w_j x_ij / Σ x_ij`, ms
+    /// (0 when nothing is allocated).
+    pub avg_latency: Rat,
+    /// Smallest per-flow allocation, Gbps.
+    pub min_flow: Rat,
+    /// Smallest per-flow fraction of demand served, in `[0, 1]`.
+    pub min_share: Rat,
+}
+
+impl DesignMetrics {
+    /// Compute metrics for an allocation on its instance.
+    #[must_use]
+    pub fn of(inst: &Instance, alloc: &Allocation) -> DesignMetrics {
+        let throughput = alloc.total();
+        let mut weighted = Rat::zero();
+        for (i, xs) in alloc.per_tunnel.iter().enumerate() {
+            for (j, x) in xs.iter().enumerate() {
+                weighted += &(x * &inst.tunnels[i][j].latency);
+            }
+        }
+        let avg_latency = if throughput.is_zero() {
+            Rat::zero()
+        } else {
+            &weighted / &throughput
+        };
+        let min_flow = alloc
+            .per_flow
+            .iter()
+            .cloned()
+            .min()
+            .unwrap_or_else(Rat::zero);
+        let min_share = alloc
+            .per_flow
+            .iter()
+            .zip(&inst.flows)
+            .map(|(b, f)| {
+                if f.demand.is_zero() {
+                    Rat::one()
+                } else {
+                    b / &f.demand
+                }
+            })
+            .min()
+            .unwrap_or_else(Rat::one);
+        DesignMetrics { throughput, avg_latency, min_flow, min_share }
+    }
+
+    /// The `(throughput, latency)` pair used by the SWAN case study.
+    #[must_use]
+    pub fn swan_pair(&self) -> [Rat; 2] {
+        [self.throughput.clone(), self.avg_latency.clone()]
+    }
+
+    /// The `(throughput, latency, min_flow)` triple for the three-metric
+    /// sketch.
+    #[must_use]
+    pub fn triple(&self) -> [Rat; 3] {
+        [self.throughput.clone(), self.avg_latency.clone(), self.min_flow.clone()]
+    }
+}
+
+impl fmt::Display for DesignMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "throughput = {} Gbps, avg latency = {} ms, min flow = {} Gbps, min share = {}",
+            self.throughput, self.avg_latency, self.min_flow, self.min_share
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::Allocator;
+    use crate::flow::{FlowSpec, TrafficClass};
+    use crate::topology::Topology;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+
+    fn instance() -> Instance {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![
+            FlowSpec::new(s, d, r(8), TrafficClass::Interactive),
+            FlowSpec::new(s, d, r(8), TrafficClass::Elastic),
+        ];
+        Instance::build(topo, flows, 3)
+    }
+
+    #[test]
+    fn metrics_of_max_throughput() {
+        let inst = instance();
+        let a = Allocator::MaxThroughput.allocate(&inst).unwrap();
+        let m = DesignMetrics::of(&inst, &a);
+        assert_eq!(m.throughput, r(12));
+        // 2 Gbps at 10 ms + 10 Gbps at 60 ms = 620/12 ms avg.
+        assert_eq!(m.avg_latency, Rat::from_frac(620, 12));
+        assert!(m.min_share <= Rat::one());
+        assert_eq!(m.swan_pair()[0], r(12));
+        assert_eq!(m.triple().len(), 3);
+    }
+
+    #[test]
+    fn latency_penalty_reduces_avg_latency() {
+        let inst = instance();
+        let fast = Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 20) }
+            .allocate(&inst)
+            .unwrap();
+        let mf = DesignMetrics::of(&inst, &fast);
+        assert_eq!(mf.avg_latency, r(10), "only the 10 ms path is used");
+        let full = Allocator::MaxThroughput.allocate(&inst).unwrap();
+        let m = DesignMetrics::of(&inst, &full);
+        assert!(mf.avg_latency < m.avg_latency);
+        assert!(mf.throughput < m.throughput);
+    }
+
+    #[test]
+    fn zero_allocation_metrics() {
+        let inst = instance();
+        let a = Allocation {
+            per_flow: vec![Rat::zero(), Rat::zero()],
+            per_tunnel: vec![vec![Rat::zero(); 2], vec![Rat::zero(); 2]],
+        };
+        let m = DesignMetrics::of(&inst, &a);
+        assert_eq!(m.throughput, Rat::zero());
+        assert_eq!(m.avg_latency, Rat::zero());
+        assert_eq!(m.min_share, Rat::zero());
+    }
+
+    #[test]
+    fn fair_allocation_raises_min_flow() {
+        let inst = instance();
+        let greedy = Allocator::MaxThroughput.allocate(&inst).unwrap();
+        let fair = Allocator::MaxMinFair.allocate(&inst).unwrap();
+        let mg = DesignMetrics::of(&inst, &greedy);
+        let mf = DesignMetrics::of(&inst, &fair);
+        assert!(mf.min_flow >= mg.min_flow);
+        assert_eq!(mf.min_flow, r(6));
+    }
+}

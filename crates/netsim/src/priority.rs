@@ -1,0 +1,302 @@
+//! Multi-class allocation with strict priority — SWAN's scheme (§2 of the
+//! paper: "SWAN strictly prioritizes traffic belonging to a higher class,
+//! and uses a max-min fair allocation for traffic within the same class"),
+//! plus the weighted alternative the paper suggests an architect may
+//! actually want.
+
+use crate::alloc::{AllocError, Allocation, Allocator, Instance};
+use crate::flow::TrafficClass;
+use cso_lp::LpProblem;
+use cso_numeric::Rat;
+
+/// How to allocate across traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassPolicy {
+    /// SWAN default: higher classes take everything they can first; each
+    /// class is max-min fair internally.
+    StrictPriority,
+    /// One weighted max-min allocation across all classes at once, using
+    /// flow weights (class defaults or per-flow overrides).
+    WeightedShare,
+}
+
+/// Allocate with a class policy.
+///
+/// # Errors
+/// Propagates LP failures from the per-class sub-allocations.
+pub fn allocate_with_classes(
+    inst: &Instance,
+    policy: ClassPolicy,
+) -> Result<Allocation, AllocError> {
+    match policy {
+        ClassPolicy::WeightedShare => Allocator::WeightedMaxMin.allocate(inst),
+        ClassPolicy::StrictPriority => strict_priority(inst),
+    }
+}
+
+/// Strict priority: allocate class by class (highest first). After a class
+/// is allocated, its flows' totals are frozen as equality constraints for
+/// the next class's sub-problem.
+fn strict_priority(inst: &Instance) -> Result<Allocation, AllocError> {
+    let n = inst.flows.len();
+    let mut frozen: Vec<Option<Rat>> = vec![None; n];
+
+    for class in TrafficClass::all() {
+        let members: Vec<usize> =
+            (0..n).filter(|&i| inst.flows[i].class == class).collect();
+        if members.is_empty() {
+            continue;
+        }
+        // Max-min fair among `members`, with higher classes frozen and
+        // lower classes pinned to zero for this round.
+        let alloc = max_min_fair_subset(inst, &members, &frozen)?;
+        for &i in &members {
+            frozen[i] = Some(alloc.per_flow[i].clone());
+        }
+    }
+
+    // Final completion: all flows frozen; minimize latency for tidy splits.
+    let extra: Vec<(usize, Rat, bool)> = frozen
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i, v.unwrap_or_else(Rat::zero), true))
+        .collect();
+    solve_fixed(inst, &extra)
+}
+
+/// Max-min fairness restricted to `members`; flows with `frozen` values are
+/// equality-pinned, all other non-member flows are pinned to zero.
+fn max_min_fair_subset(
+    inst: &Instance,
+    members: &[usize],
+    frozen: &[Option<Rat>],
+) -> Result<Allocation, AllocError> {
+    let n = inst.flows.len();
+    let mut fixed: Vec<Option<Rat>> = frozen.to_vec();
+    for i in 0..n {
+        if fixed[i].is_none() && !members.contains(&i) {
+            fixed[i] = Some(Rat::zero());
+        }
+    }
+    // Progressive filling over the members.
+    let mut member_frozen: Vec<Option<Rat>> = vec![None; n];
+    for (i, f) in fixed.iter().enumerate() {
+        member_frozen[i] = f.clone();
+    }
+    loop {
+        let open: Vec<usize> =
+            members.iter().copied().filter(|&i| member_frozen[i].is_none()).collect();
+        if open.is_empty() {
+            break;
+        }
+        let t_var = inst.n_vars();
+        let mut lp = LpProblem::maximize(t_var + 1);
+        lp.set_objective_coeff(t_var, Rat::one());
+        add_shared(inst, &mut lp);
+        for i in 0..n {
+            let mut coeffs: Vec<(usize, Rat)> =
+                (0..inst.tunnels[i].len()).map(|j| (inst.var(i, j), Rat::one())).collect();
+            match &member_frozen[i] {
+                Some(v) => lp.add_eq(coeffs, v.clone()),
+                None => {
+                    coeffs.push((t_var, -Rat::one()));
+                    lp.add_ge(coeffs, Rat::zero());
+                }
+            }
+        }
+        for &i in &open {
+            lp.add_le(vec![(t_var, Rat::one())], inst.flows[i].demand.clone());
+        }
+        let t_star = match lp.solve() {
+            cso_lp::LpOutcome::Optimal(sol) => sol.values[t_var].clone(),
+            cso_lp::LpOutcome::Infeasible => return Err(AllocError::Infeasible),
+            cso_lp::LpOutcome::Unbounded => return Err(AllocError::Unbounded),
+        };
+        let mut progressed = false;
+        for &i in &open {
+            if t_star >= inst.flows[i].demand {
+                member_frozen[i] = Some(inst.flows[i].demand.clone());
+                progressed = true;
+                continue;
+            }
+            // Probe: can flow i exceed t_star?
+            let mut probe = LpProblem::maximize(inst.n_vars());
+            for j in 0..inst.tunnels[i].len() {
+                probe.set_objective_coeff(inst.var(i, j), Rat::one());
+            }
+            add_shared(inst, &mut probe);
+            for k in 0..n {
+                if k == i {
+                    continue;
+                }
+                let coeffs: Vec<(usize, Rat)> = (0..inst.tunnels[k].len())
+                    .map(|j| (inst.var(k, j), Rat::one()))
+                    .collect();
+                match &member_frozen[k] {
+                    Some(v) => probe.add_eq(coeffs, v.clone()),
+                    None => probe.add_ge(coeffs, t_star.clone().min(inst.flows[k].demand.clone())),
+                }
+            }
+            match probe.solve() {
+                cso_lp::LpOutcome::Optimal(sol) => {
+                    if sol.objective <= t_star {
+                        member_frozen[i] = Some(t_star.clone());
+                        progressed = true;
+                    }
+                }
+                cso_lp::LpOutcome::Infeasible => return Err(AllocError::Infeasible),
+                cso_lp::LpOutcome::Unbounded => return Err(AllocError::Unbounded),
+            }
+        }
+        if !progressed {
+            for &i in &open {
+                member_frozen[i] = Some(t_star.clone().min(inst.flows[i].demand.clone()));
+            }
+        }
+    }
+    let extra: Vec<(usize, Rat, bool)> = member_frozen
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i, v.unwrap_or_else(Rat::zero), true))
+        .collect();
+    solve_fixed(inst, &extra)
+}
+
+fn add_shared(inst: &Instance, lp: &mut LpProblem) {
+    // Re-derive the shared capacity/demand constraints (kept private in
+    // alloc.rs; duplicated minimally here to keep module boundaries clean).
+    for (lid, link) in inst.topo.links().iter().enumerate() {
+        let mut coeffs = Vec::new();
+        for (i, tunnels) in inst.tunnels.iter().enumerate() {
+            for (j, t) in tunnels.iter().enumerate() {
+                if t.uses(crate::topology::LinkId(lid)) {
+                    coeffs.push((inst.var(i, j), Rat::one()));
+                }
+            }
+        }
+        if !coeffs.is_empty() {
+            lp.add_le(coeffs, link.capacity.clone());
+        }
+    }
+    for (i, f) in inst.flows.iter().enumerate() {
+        let coeffs: Vec<(usize, Rat)> =
+            (0..inst.tunnels[i].len()).map(|j| (inst.var(i, j), Rat::one())).collect();
+        lp.add_le(coeffs, f.demand.clone());
+    }
+}
+
+fn solve_fixed(inst: &Instance, extra: &[(usize, Rat, bool)]) -> Result<Allocation, AllocError> {
+    let mut lp = LpProblem::maximize(inst.n_vars());
+    for (i, tunnels) in inst.tunnels.iter().enumerate() {
+        for (j, t) in tunnels.iter().enumerate() {
+            // Nudge toward low-latency splits without changing totals.
+            lp.set_objective_coeff(
+                inst.var(i, j),
+                -(&t.latency / &Rat::from_int(1000)),
+            );
+        }
+    }
+    add_shared(inst, &mut lp);
+    for (i, bound, exact) in extra {
+        let coeffs: Vec<(usize, Rat)> =
+            (0..inst.tunnels[*i].len()).map(|j| (inst.var(*i, j), Rat::one())).collect();
+        if *exact {
+            lp.add_eq(coeffs, bound.clone());
+        } else {
+            lp.add_ge(coeffs, bound.clone());
+        }
+    }
+    match lp.solve() {
+        cso_lp::LpOutcome::Optimal(sol) => Ok(Allocation::from_lp_values(inst, &sol.values)),
+        cso_lp::LpOutcome::Infeasible => Err(AllocError::Infeasible),
+        cso_lp::LpOutcome::Unbounded => Err(AllocError::Unbounded),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::topology::Topology;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+
+    /// Interactive and background flow share the 12-unit two-path network.
+    fn mixed_instance(bg_demand: i64) -> Instance {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![
+            FlowSpec::new(s, d, r(10), TrafficClass::Interactive),
+            FlowSpec::new(s, d, r(bg_demand), TrafficClass::Background),
+        ];
+        Instance::build(topo, flows, 3)
+    }
+
+    #[test]
+    fn strict_priority_starves_background_when_needed() {
+        let inst = mixed_instance(10);
+        let a = allocate_with_classes(&inst, ClassPolicy::StrictPriority).unwrap();
+        // Interactive takes its full 10; background gets the remaining 2.
+        assert_eq!(a.per_flow[0], r(10));
+        assert_eq!(a.per_flow[1], r(2));
+    }
+
+    #[test]
+    fn weighted_share_does_not_starve() {
+        let inst = mixed_instance(10);
+        let a = allocate_with_classes(&inst, ClassPolicy::WeightedShare).unwrap();
+        // Weights 4:1 over 12 units => 9.6 : 2.4; background keeps a share.
+        assert!(a.per_flow[1] > r(2), "weighted share must exceed leftovers");
+        assert!(a.per_flow[0] > a.per_flow[1]);
+        assert_eq!(a.total(), r(12));
+    }
+
+    #[test]
+    fn same_class_flows_split_fairly_under_priority() {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![
+            FlowSpec::new(s, d, r(10), TrafficClass::Interactive),
+            FlowSpec::new(s, d, r(10), TrafficClass::Interactive),
+            FlowSpec::new(s, d, r(10), TrafficClass::Background),
+        ];
+        let inst = Instance::build(topo, flows, 3);
+        let a = allocate_with_classes(&inst, ClassPolicy::StrictPriority).unwrap();
+        // The two interactive flows split the 12 evenly; background gets 0.
+        assert_eq!(a.per_flow[0], r(6));
+        assert_eq!(a.per_flow[1], r(6));
+        assert_eq!(a.per_flow[2], r(0));
+    }
+
+    #[test]
+    fn empty_class_rounds_are_skipped() {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![FlowSpec::new(s, d, r(5), TrafficClass::Elastic)];
+        let inst = Instance::build(topo, flows, 3);
+        let a = allocate_with_classes(&inst, ClassPolicy::StrictPriority).unwrap();
+        assert_eq!(a.per_flow[0], r(5));
+    }
+
+    #[test]
+    fn priority_respects_capacity() {
+        let inst = mixed_instance(10);
+        let a = allocate_with_classes(&inst, ClassPolicy::StrictPriority).unwrap();
+        for (lid, link) in inst.topo.links().iter().enumerate() {
+            let mut used = Rat::zero();
+            for (i, xs) in a.per_tunnel.iter().enumerate() {
+                for (j, x) in xs.iter().enumerate() {
+                    if inst.tunnels[i][j].uses(crate::topology::LinkId(lid)) {
+                        used += x;
+                    }
+                }
+            }
+            assert!(used <= link.capacity, "link {lid} over capacity");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Feasible-scenario generation: candidate designs for the oracle to rank
+//! and for the learnt objective to choose among.
+//!
+//! Comparative synthesis needs concrete metric combinations. Random points
+//! in metric space work for learning (the paper does exactly that), but a
+//! deployment wants *feasible* scenarios: metric combinations some actual
+//! allocation achieves. Sweeping allocator knobs — SWAN's ε, Danna's
+//! `q_t`, fairness flavours — produces a design portfolio whose metrics
+//! span the achievable trade-off surface.
+
+use crate::alloc::{AllocError, Allocation, Allocator, Instance};
+use crate::metrics::DesignMetrics;
+use cso_numeric::Rat;
+
+/// A candidate design: the allocator that produced it, its allocation and
+/// its metrics.
+#[derive(Debug, Clone)]
+pub struct CandidateDesign {
+    /// Human-readable description of the allocator configuration.
+    pub label: String,
+    /// The allocator used.
+    pub allocator: Allocator,
+    /// The computed allocation.
+    pub allocation: Allocation,
+    /// Extracted metrics.
+    pub metrics: DesignMetrics,
+}
+
+/// Generate a portfolio of candidate designs by sweeping the standard
+/// allocator knobs.
+///
+/// # Errors
+/// Propagates LP failures (which indicate a malformed instance).
+pub fn design_portfolio(inst: &Instance) -> Result<Vec<CandidateDesign>, AllocError> {
+    let mut allocators: Vec<(String, Allocator)> = vec![
+        ("max-throughput".into(), Allocator::MaxThroughput),
+        ("max-min-fair".into(), Allocator::MaxMinFair),
+        ("weighted-max-min".into(), Allocator::WeightedMaxMin),
+        ("prop-fair".into(), Allocator::ProportionalFairApprox { segments: 6 }),
+    ];
+    for (num, den) in [(1i64, 1000i64), (1, 200), (1, 100), (1, 50), (1, 25), (1, 10)] {
+        allocators.push((
+            format!("swan-eps-{num}/{den}"),
+            Allocator::SwanEpsilon { epsilon: Rat::from_frac(num, den) },
+        ));
+    }
+    for (num, den) in [(1i64, 2i64), (7, 10), (9, 10), (1, 1)] {
+        allocators.push((
+            format!("danna-qt-{num}/{den}"),
+            Allocator::DannaBalance { q_t: Rat::from_frac(num, den) },
+        ));
+    }
+
+    let mut out = Vec::with_capacity(allocators.len());
+    for (label, allocator) in allocators {
+        let allocation = allocator.allocate(inst)?;
+        let metrics = DesignMetrics::of(inst, &allocation);
+        out.push(CandidateDesign { label, allocator, allocation, metrics });
+    }
+    Ok(out)
+}
+
+/// Pick the candidate maximizing `score` (deterministic: first wins ties).
+///
+/// The score is typically a learnt objective applied to the candidate's
+/// metrics; taking a closure keeps this crate independent of the sketch
+/// layer.
+#[must_use]
+pub fn pick_best<'a, S: Ord>(
+    designs: &'a [CandidateDesign],
+    mut score: impl FnMut(&DesignMetrics) -> S,
+) -> Option<&'a CandidateDesign> {
+    let mut best: Option<(&CandidateDesign, S)> = None;
+    for d in designs {
+        let s = score(&d.metrics);
+        match &best {
+            Some((_, bs)) if s <= *bs => {}
+            _ => best = Some((d, s)),
+        }
+    }
+    best.map(|(d, _)| d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowSpec, TrafficClass};
+    use crate::topology::Topology;
+
+    fn instance() -> Instance {
+        let topo = Topology::two_path();
+        let s = topo.node("src").unwrap();
+        let d = topo.node("dst").unwrap();
+        let flows = vec![
+            FlowSpec::new(s, d, Rat::from_int(8), TrafficClass::Interactive),
+            FlowSpec::new(s, d, Rat::from_int(8), TrafficClass::Elastic),
+        ];
+        Instance::build(topo, flows, 3)
+    }
+
+    #[test]
+    fn portfolio_covers_the_tradeoff() {
+        let inst = instance();
+        let designs = design_portfolio(&inst).unwrap();
+        assert!(designs.len() >= 10);
+        // The sweep spans distinct throughput/latency combinations.
+        let throughputs: std::collections::BTreeSet<String> =
+            designs.iter().map(|d| d.metrics.throughput.to_string()).collect();
+        assert!(throughputs.len() >= 2, "sweep should vary throughput");
+        let latencies: std::collections::BTreeSet<String> =
+            designs.iter().map(|d| d.metrics.avg_latency.to_string()).collect();
+        assert!(latencies.len() >= 2, "sweep should vary latency");
+    }
+
+    #[test]
+    fn pick_best_by_throughput() {
+        let inst = instance();
+        let designs = design_portfolio(&inst).unwrap();
+        let best = pick_best(&designs, |m| m.throughput.clone()).unwrap();
+        assert_eq!(best.metrics.throughput, Rat::from_int(12));
+    }
+
+    #[test]
+    fn pick_best_by_low_latency() {
+        let inst = instance();
+        let designs = design_portfolio(&inst).unwrap();
+        let best = pick_best(&designs, |m| -&m.avg_latency).unwrap();
+        assert_eq!(best.metrics.avg_latency, Rat::from_int(10));
+    }
+
+    #[test]
+    fn pick_best_empty_is_none() {
+        assert!(pick_best(&[], |m| m.throughput.clone()).is_none());
+    }
+}

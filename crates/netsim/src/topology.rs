@@ -1,0 +1,257 @@
+//! Network topologies: nodes and capacitated, latency-weighted links.
+
+use cso_numeric::Rat;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// A directed link with capacity (Gbps) and propagation latency (ms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Capacity in Gbps.
+    pub capacity: Rat,
+    /// Propagation latency in milliseconds.
+    pub latency: Rat,
+}
+
+/// A directed network topology.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    names: Vec<String>,
+    links: Vec<Link>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl Topology {
+    /// An empty topology.
+    #[must_use]
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a node with a human-readable name.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Add a directed link.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, non-positive capacity or negative
+    /// latency.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, capacity: Rat, latency: Rat) -> LinkId {
+        assert!(from.0 < self.names.len() && to.0 < self.names.len(), "bad endpoint");
+        assert!(from != to, "self-loop link");
+        assert!(capacity.is_positive(), "capacity must be positive");
+        assert!(!latency.is_negative(), "latency must be non-negative");
+        let id = LinkId(self.links.len());
+        self.links.push(Link { from, to, capacity, latency });
+        id
+    }
+
+    /// Add a bidirectional link (two directed links), returning both ids.
+    pub fn add_duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: Rat,
+        latency: Rat,
+    ) -> (LinkId, LinkId) {
+        let l1 = self.add_link(a, b, capacity.clone(), latency.clone());
+        let l2 = self.add_link(b, a, capacity, latency);
+        (l1, l2)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of directed links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Node name.
+    #[must_use]
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Node id for a name.
+    #[must_use]
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Link by id.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// All links.
+    #[must_use]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Outgoing links of a node.
+    pub fn out_links(&self, n: NodeId) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.from == n)
+            .map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// The classic SWAN-paper-style inter-datacenter WAN used in examples:
+    /// five sites with heterogeneous capacities and latencies.
+    ///
+    /// ```text
+    ///   NY ── 10G/20ms ── CHI ── 10G/25ms ── SEA
+    ///    │                  │                  │
+    ///   8G/30ms          6G/28ms            8G/18ms
+    ///    │                  │                  │
+    ///   ATL ── 6G/32ms ── DAL ── 8G/22ms ──── SF
+    ///                                SEA─SF duplex above
+    /// ```
+    #[must_use]
+    pub fn wan5() -> Topology {
+        let mut t = Topology::new();
+        let ny = t.add_node("NY");
+        let chi = t.add_node("CHI");
+        let sea = t.add_node("SEA");
+        let atl = t.add_node("ATL");
+        let dal = t.add_node("DAL");
+        let sf = t.add_node("SF");
+        let g = Rat::from_int;
+        t.add_duplex(ny, chi, g(10), g(20));
+        t.add_duplex(chi, sea, g(10), g(25));
+        t.add_duplex(ny, atl, g(8), g(30));
+        t.add_duplex(chi, dal, g(6), g(28));
+        t.add_duplex(sea, sf, g(8), g(18));
+        t.add_duplex(atl, dal, g(6), g(32));
+        t.add_duplex(dal, sf, g(8), g(22));
+        t
+    }
+
+    /// A minimal two-path topology for unit tests: src → dst directly
+    /// (fast, thin) and via a relay (slow, fat).
+    #[must_use]
+    pub fn two_path() -> Topology {
+        let mut t = Topology::new();
+        let s = t.add_node("src");
+        let r = t.add_node("relay");
+        let d = t.add_node("dst");
+        let g = Rat::from_int;
+        t.add_link(s, d, g(2), g(10)); // direct: 2 Gbps, 10 ms
+        t.add_link(s, r, g(10), g(30));
+        t.add_link(r, d, g(10), g(30)); // via relay: 10 Gbps, 60 ms
+        t
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Topology: {} nodes, {} links", self.node_count(), self.link_count())?;
+        for l in &self.links {
+            writeln!(
+                f,
+                "  {} -> {}: {} Gbps, {} ms",
+                self.node_name(l.from),
+                self.node_name(l.to),
+                l.capacity,
+                l.latency
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t.add_link(a, b, Rat::from_int(5), Rat::from_int(10));
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.node("a"), Some(a));
+        assert_eq!(t.node("z"), None);
+        assert_eq!(t.link(l).capacity, Rat::from_int(5));
+        assert_eq!(t.out_links(a).count(), 1);
+        assert_eq!(t.out_links(b).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_name_panics() {
+        let mut t = Topology::new();
+        t.add_node("a");
+        t.add_node("a");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        t.add_link(a, a, Rat::one(), Rat::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(a, b, Rat::zero(), Rat::one());
+    }
+
+    #[test]
+    fn wan5_is_well_formed() {
+        let t = Topology::wan5();
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.link_count(), 14); // 7 duplex pairs
+        // Every node is reachable from NY via some outgoing sequence (spot
+        // check degree instead of full BFS here; tunnels test reachability).
+        for n in 0..t.node_count() {
+            assert!(t.out_links(NodeId(n)).count() >= 2, "node {n} underconnected");
+        }
+    }
+
+    #[test]
+    fn two_path_shape() {
+        let t = Topology::two_path();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 3);
+    }
+}

@@ -1,0 +1,183 @@
+//! Tunnels: loop-free paths between endpoints, found by latency-ordered
+//! k-shortest-path search (Yen-style, simple BFS-based implementation).
+
+use crate::topology::{LinkId, NodeId, Topology};
+use cso_numeric::Rat;
+use std::collections::BinaryHeap;
+
+/// A tunnel: an ordered list of links from a source to a destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tunnel {
+    /// Links traversed in order.
+    pub links: Vec<LinkId>,
+    /// End-to-end propagation latency (sum of link latencies), in ms.
+    pub latency: Rat,
+}
+
+impl Tunnel {
+    /// The bottleneck capacity along the tunnel.
+    #[must_use]
+    pub fn bottleneck(&self, topo: &Topology) -> Rat {
+        self.links
+            .iter()
+            .map(|&l| topo.link(l).capacity.clone())
+            .min()
+            .expect("tunnel has at least one link")
+    }
+
+    /// `true` iff the tunnel uses the given link.
+    #[must_use]
+    pub fn uses(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// The node sequence of the tunnel.
+    #[must_use]
+    pub fn nodes(&self, topo: &Topology) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.links.len() + 1);
+        if let Some(&first) = self.links.first() {
+            out.push(topo.link(first).from);
+        }
+        for &l in &self.links {
+            out.push(topo.link(l).to);
+        }
+        out
+    }
+}
+
+/// Entry in the k-shortest-path frontier (min-heap by latency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Frontier {
+    latency: Rat,
+    node: NodeId,
+    links: Vec<LinkId>,
+}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Frontier) -> std::cmp::Ordering {
+        // Reverse for min-heap; tie-break on path for determinism.
+        other
+            .latency
+            .cmp(&self.latency)
+            .then_with(|| other.links.cmp(&self.links))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Frontier) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Find up to `k` lowest-latency loop-free tunnels from `src` to `dst`.
+///
+/// Uses best-first search that expands each node at most `k` times — the
+/// standard simplification of Yen's algorithm that is exact for loop-free
+/// k-shortest paths when edge weights are non-negative.
+#[must_use]
+pub fn k_shortest_tunnels(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> Vec<Tunnel> {
+    if k == 0 || src == dst {
+        return Vec::new();
+    }
+    let mut found: Vec<Tunnel> = Vec::new();
+    let mut visits = vec![0usize; topo.node_count()];
+    let mut heap = BinaryHeap::new();
+    heap.push(Frontier { latency: Rat::zero(), node: src, links: Vec::new() });
+    while let Some(f) = heap.pop() {
+        if f.node == dst {
+            found.push(Tunnel { links: f.links.clone(), latency: f.latency.clone() });
+            if found.len() == k {
+                break;
+            }
+            continue;
+        }
+        if visits[f.node.0] >= k {
+            continue;
+        }
+        visits[f.node.0] += 1;
+        for (lid, link) in topo.out_links(f.node) {
+            // Loop-free: skip if the next node already appears on the path.
+            let revisits = link.to == src
+                || f.links.iter().any(|&l| topo.link(l).from == link.to);
+            if revisits {
+                continue;
+            }
+            let mut links = f.links.clone();
+            links.push(lid);
+            heap.push(Frontier {
+                latency: &f.latency + &link.latency,
+                node: link.to,
+                links,
+            });
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_path_topology_yields_both() {
+        let t = Topology::two_path();
+        let s = t.node("src").unwrap();
+        let d = t.node("dst").unwrap();
+        let tunnels = k_shortest_tunnels(&t, s, d, 3);
+        assert_eq!(tunnels.len(), 2);
+        // Sorted by latency: direct (10) then relay (60).
+        assert_eq!(tunnels[0].latency, Rat::from_int(10));
+        assert_eq!(tunnels[1].latency, Rat::from_int(60));
+        assert_eq!(tunnels[0].bottleneck(&t), Rat::from_int(2));
+        assert_eq!(tunnels[1].bottleneck(&t), Rat::from_int(10));
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let t = Topology::two_path();
+        let s = t.node("src").unwrap();
+        let d = t.node("dst").unwrap();
+        assert_eq!(k_shortest_tunnels(&t, s, d, 1).len(), 1);
+        assert!(k_shortest_tunnels(&t, s, d, 0).is_empty());
+    }
+
+    #[test]
+    fn same_node_no_tunnels() {
+        let t = Topology::two_path();
+        let s = t.node("src").unwrap();
+        assert!(k_shortest_tunnels(&t, s, s, 3).is_empty());
+    }
+
+    #[test]
+    fn loop_free_paths_only() {
+        let t = Topology::wan5();
+        let ny = t.node("NY").unwrap();
+        let sf = t.node("SF").unwrap();
+        let tunnels = k_shortest_tunnels(&t, ny, sf, 6);
+        assert!(!tunnels.is_empty());
+        for tun in &tunnels {
+            let nodes = tun.nodes(&t);
+            let mut dedup = nodes.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), nodes.len(), "path revisits a node: {nodes:?}");
+            assert_eq!(nodes.first(), Some(&ny));
+            assert_eq!(nodes.last(), Some(&sf));
+        }
+        // Latencies are non-decreasing.
+        for w in tunnels.windows(2) {
+            assert!(w[0].latency <= w[1].latency);
+        }
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_link(a, b, Rat::one(), Rat::one());
+        // c unreachable.
+        assert!(k_shortest_tunnels(&t, a, c, 3).is_empty());
+    }
+}

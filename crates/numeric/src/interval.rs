@@ -1,0 +1,400 @@
+//! Outward-rounded floating-point interval arithmetic.
+//!
+//! [`Interval`] represents a closed interval `[lo, hi]` of reals with `f64`
+//! endpoints. Every arithmetic operation rounds its lower endpoint down and
+//! its upper endpoint up by one ulp (`next_down` / `next_up`), so the result
+//! is a *sound over-approximation* of the exact real interval. That soundness
+//! is what lets the branch-and-prune solver in `cso-logic` *prove* that a
+//! constraint has no solution in a box: if the outward-rounded evaluation of
+//! `t` over the box misses the constraint's satisfying set entirely, no real
+//! point in the box can satisfy it.
+//!
+//! Infinite endpoints are permitted (division by an interval containing zero
+//! yields the whole line); NaN is never produced for non-empty inputs.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` with `lo <= hi` (endpoints may be infinite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+fn down(x: f64) -> f64 {
+    if x.is_finite() {
+        x.next_down()
+    } else {
+        x
+    }
+}
+
+fn up(x: f64) -> f64 {
+    if x.is_finite() {
+        x.next_up()
+    } else {
+        x
+    }
+}
+
+impl Interval {
+    /// Construct `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either endpoint is NaN.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(!lo.is_nan() && !hi.is_nan(), "Interval endpoint is NaN");
+        assert!(lo <= hi, "Interval with lo > hi: [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    #[must_use]
+    pub fn point(x: f64) -> Interval {
+        Interval::new(x, x)
+    }
+
+    /// The whole real line `[-inf, +inf]`.
+    #[must_use]
+    pub fn whole() -> Interval {
+        Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo` (may be infinite).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint, clamped to finite values for infinite intervals.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        if self.lo.is_infinite() && self.hi.is_infinite() {
+            return 0.0;
+        }
+        if self.lo.is_infinite() {
+            return self.hi - 1.0;
+        }
+        if self.hi.is_infinite() {
+            return self.lo + 1.0;
+        }
+        let m = self.lo / 2.0 + self.hi / 2.0;
+        m.clamp(self.lo, self.hi)
+    }
+
+    /// `true` iff `x` lies within the interval.
+    #[must_use]
+    pub fn contains_f64(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// `true` iff the interval contains zero.
+    #[must_use]
+    pub fn contains_zero(&self) -> bool {
+        self.contains_f64(0.0)
+    }
+
+    /// `true` iff `other` is entirely within `self`.
+    #[must_use]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Intersection, or `None` if disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval containing both.
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Split at the midpoint into two halves.
+    #[must_use]
+    pub fn bisect(&self) -> (Interval, Interval) {
+        let m = self.midpoint();
+        (Interval { lo: self.lo, hi: m }, Interval { lo: m, hi: self.hi })
+    }
+
+    /// `true` iff every point in `self` is `< x`.
+    #[must_use]
+    pub fn certainly_lt(&self, x: f64) -> bool {
+        self.hi < x
+    }
+
+    /// `true` iff every point in `self` is `<= x`.
+    #[must_use]
+    pub fn certainly_le(&self, x: f64) -> bool {
+        self.hi <= x
+    }
+
+    /// `true` iff every point in `self` is `> x`.
+    #[must_use]
+    pub fn certainly_gt(&self, x: f64) -> bool {
+        self.lo > x
+    }
+
+    /// `true` iff every point in `self` is `>= x`.
+    #[must_use]
+    pub fn certainly_ge(&self, x: f64) -> bool {
+        self.lo >= x
+    }
+
+    /// Minimum of two intervals (pointwise set image of `min`).
+    #[must_use]
+    pub fn min_i(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// Maximum of two intervals (pointwise set image of `max`).
+    #[must_use]
+    pub fn max_i(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Absolute-value image.
+    #[must_use]
+    pub fn abs_i(&self) -> Interval {
+        if self.lo >= 0.0 {
+            *self
+        } else if self.hi <= 0.0 {
+            Interval { lo: -self.hi, hi: -self.lo }
+        } else {
+            Interval { lo: 0.0, hi: self.hi.max(-self.lo) }
+        }
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    fn neg(self) -> Interval {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval { lo: down(self.lo + rhs.lo), hi: up(self.hi + rhs.hi) }
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        self + (-rhs)
+    }
+}
+
+/// Multiply endpoints treating `0 * inf` as `0` (correct for interval
+/// arithmetic where an exact zero endpoint annihilates).
+fn mul_ep(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        a * b
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    fn mul(self, rhs: Interval) -> Interval {
+        let cands = [
+            mul_ep(self.lo, rhs.lo),
+            mul_ep(self.lo, rhs.hi),
+            mul_ep(self.hi, rhs.lo),
+            mul_ep(self.hi, rhs.hi),
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cands {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval { lo: down(lo), hi: up(hi) }
+    }
+}
+
+impl Div for Interval {
+    type Output = Interval;
+    fn div(self, rhs: Interval) -> Interval {
+        if rhs.contains_zero() {
+            // The image is unbounded (or undefined at a point); the sound
+            // over-approximation is the whole line.
+            return Interval::whole();
+        }
+        let cands = [self.lo / rhs.lo, self.lo / rhs.hi, self.hi / rhs.lo, self.hi / rhs.hi];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cands {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        Interval { lo: down(lo), hi: up(hi) }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(-1.0, 2.0);
+        assert_eq!(i.lo(), -1.0);
+        assert_eq!(i.hi(), 2.0);
+        assert_eq!(i.width(), 3.0);
+        assert!(i.contains_zero());
+        assert!(i.contains_f64(2.0));
+        assert!(!i.contains_f64(2.0001));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > hi")]
+    fn inverted_panics() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = Interval::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn add_outward() {
+        let a = Interval::new(0.1, 0.2);
+        let b = Interval::new(0.3, 0.4);
+        let c = a + b;
+        // Must contain the exact real result despite rounding.
+        assert!(c.lo() <= 0.4 && c.hi() >= 0.6);
+        assert!(c.lo() < 0.1 + 0.3 + 1e-15);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(0.5, 1.5);
+        let c = a - b;
+        assert!(c.contains_f64(-0.5) && c.contains_f64(1.5));
+        assert_eq!((-a).lo(), -2.0);
+        assert_eq!((-a).hi(), -1.0);
+    }
+
+    #[test]
+    fn mul_sign_cases() {
+        let pos = Interval::new(2.0, 3.0);
+        let neg = Interval::new(-3.0, -2.0);
+        let mix = Interval::new(-1.0, 2.0);
+        assert!((pos * pos).contains(&Interval::new(4.0, 9.0)));
+        assert!((pos * neg).contains(&Interval::new(-9.0, -4.0)));
+        assert!((mix * mix).contains(&Interval::new(-2.0, 4.0)));
+        assert!((neg * neg).contains(&Interval::new(4.0, 9.0)));
+    }
+
+    #[test]
+    fn mul_zero_times_infinite() {
+        let z = Interval::point(0.0);
+        let w = Interval::whole();
+        let p = z * w;
+        assert!(!p.lo().is_nan() && !p.hi().is_nan());
+        assert!(p.contains_zero());
+    }
+
+    #[test]
+    fn div_no_zero() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(4.0, 8.0);
+        let c = a / b;
+        assert!(c.contains(&Interval::new(0.125, 0.5)));
+    }
+
+    #[test]
+    fn div_across_zero_is_whole() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-1.0, 1.0);
+        assert_eq!(a / b, Interval::whole());
+    }
+
+    #[test]
+    fn intersect_hull() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.intersect(&b), Some(Interval::new(1.0, 2.0)));
+        assert_eq!(a.hull(&b), Interval::new(0.0, 3.0));
+        let c = Interval::new(5.0, 6.0);
+        assert_eq!(a.intersect(&c), None);
+        // Touching intervals intersect in a point.
+        let d = Interval::new(2.0, 4.0);
+        assert_eq!(a.intersect(&d), Some(Interval::point(2.0)));
+    }
+
+    #[test]
+    fn bisect_covers() {
+        let i = Interval::new(0.0, 8.0);
+        let (l, r) = i.bisect();
+        assert_eq!(l.hi(), r.lo());
+        assert_eq!(l.lo(), 0.0);
+        assert_eq!(r.hi(), 8.0);
+    }
+
+    #[test]
+    fn midpoint_infinite() {
+        assert_eq!(Interval::whole().midpoint(), 0.0);
+        let half = Interval::new(0.0, f64::INFINITY);
+        assert!(half.contains_f64(half.midpoint()));
+        let neg = Interval::new(f64::NEG_INFINITY, 0.0);
+        assert!(neg.contains_f64(neg.midpoint()));
+    }
+
+    #[test]
+    fn certainly_predicates() {
+        let i = Interval::new(1.0, 2.0);
+        assert!(i.certainly_gt(0.5));
+        assert!(i.certainly_ge(1.0));
+        assert!(i.certainly_lt(2.5));
+        assert!(i.certainly_le(2.0));
+        assert!(!i.certainly_gt(1.5));
+        assert!(!i.certainly_lt(1.5));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Interval::new(-2.0, 1.0);
+        let b = Interval::new(0.0, 3.0);
+        assert_eq!(a.min_i(&b), Interval::new(-2.0, 1.0));
+        assert_eq!(a.max_i(&b), Interval::new(0.0, 3.0));
+        assert_eq!(a.abs_i(), Interval::new(0.0, 2.0));
+        assert_eq!(Interval::new(-3.0, -1.0).abs_i(), Interval::new(1.0, 3.0));
+        assert_eq!(Interval::new(1.0, 3.0).abs_i(), Interval::new(1.0, 3.0));
+    }
+}

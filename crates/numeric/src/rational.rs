@@ -1,0 +1,573 @@
+//! Arbitrary-precision rational numbers.
+//!
+//! [`Rat`] keeps the invariant `den > 0` and `gcd(num, den) = 1` after every
+//! operation, so equality is structural and hashing is consistent. All
+//! arithmetic is exact; conversions to and from `f64` are provided for
+//! interoperation with the interval layer (`from_f64` is exact because every
+//! finite double is a dyadic rational).
+
+use crate::bigint::BigInt;
+use crate::Sign;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rat {
+    /// Construct and normalize `num / den`.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: BigInt, den: BigInt) -> Rat {
+        assert!(!den.is_zero(), "Rat with zero denominator");
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        if num.is_zero() {
+            return Rat { num: BigInt::zero(), den: BigInt::one() };
+        }
+        let g = num.gcd(&den);
+        if g.is_one() {
+            Rat { num, den }
+        } else {
+            Rat { num: &num / &g, den: &den / &g }
+        }
+    }
+
+    /// The rational zero.
+    #[must_use]
+    pub fn zero() -> Rat {
+        Rat { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational one.
+    #[must_use]
+    pub fn one() -> Rat {
+        Rat { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// An integer as a rational.
+    #[must_use]
+    pub fn from_int(v: i64) -> Rat {
+        Rat { num: BigInt::from(v), den: BigInt::one() }
+    }
+
+    /// `p / q` from machine integers.
+    ///
+    /// # Panics
+    /// Panics if `q` is zero.
+    #[must_use]
+    pub fn from_frac(p: i64, q: i64) -> Rat {
+        Rat::new(BigInt::from(p), BigInt::from(q))
+    }
+
+    /// Exact conversion from a finite `f64` (every finite double is a dyadic
+    /// rational). Returns `None` for NaN or infinities.
+    #[must_use]
+    pub fn from_f64(x: f64) -> Option<Rat> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Rat::zero());
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // value = mant * 2^(e - 52), with implicit leading bit for normals.
+        let (mant, e) = if exp == 0 {
+            (frac, -1022i64 - 52)
+        } else {
+            (frac | (1u64 << 52), exp - 1023 - 52)
+        };
+        let m = BigInt::from(mant);
+        let m = if neg { -m } else { m };
+        let r = if e >= 0 {
+            Rat { num: m.shl(e as u64), den: BigInt::one() }
+        } else {
+            Rat::new(m, BigInt::one().shl((-e) as u64))
+        };
+        Some(r)
+    }
+
+    /// Numerator (sign carried here).
+    #[must_use]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    #[must_use]
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// `true` iff zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Sign of the rational.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// `true` iff strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// `true` iff strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff this rational is an integer.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if zero.
+    #[must_use]
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        if self.num.is_negative() {
+            Rat { num: -&self.den, den: -&self.num }
+        } else {
+            Rat { num: self.den.clone(), den: self.num.clone() }
+        }
+    }
+
+    /// Round toward negative infinity to an integer.
+    #[must_use]
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Round toward positive infinity to an integer.
+    #[must_use]
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Convert to the nearest `f64`.
+    ///
+    /// Implemented by scaling the numerator so the integer quotient carries
+    /// ~80 significant bits before the final floating division, which keeps
+    /// the result within 1 ulp even when both sides are enormous.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        if self.num.is_zero() {
+            return 0.0;
+        }
+        let nb = self.num.bit_len() as i64;
+        let db = self.den.bit_len() as i64;
+        // Shift num so quotient has ~80 bits.
+        let shift = 80 - (nb - db);
+        let (q, scale_back) = if shift > 0 {
+            (&self.num.shl(shift as u64) / &self.den, -shift)
+        } else {
+            (&self.num.shr((-shift) as u64) / &self.den, -shift)
+        };
+        q.to_f64() * (scale_back as f64).exp2()
+    }
+
+    /// The midpoint of two rationals.
+    #[must_use]
+    pub fn midpoint(&self, other: &Rat) -> Rat {
+        (self + other) / Rat::from_int(2)
+    }
+
+    /// Minimum by value.
+    #[must_use]
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum by value.
+    #[must_use]
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamp into `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: &Rat, hi: &Rat) -> Rat {
+        assert!(lo <= hi, "Rat::clamp with lo > hi");
+        if &self < lo {
+            lo.clone()
+        } else if &self > hi {
+            hi.clone()
+        } else {
+            self
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::zero()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+}
+
+impl From<BigInt> for Rat {
+    fn from(v: BigInt) -> Rat {
+        Rat { num: v, den: BigInt::one() }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b*(d/g)) with g = gcd(b, d),
+        // which keeps intermediate magnitudes small.
+        let g = self.den.gcd(&rhs.den);
+        let db = &self.den / &g;
+        let dd = &rhs.den / &g;
+        let num = &self.num * &dd + &rhs.num * &db;
+        let den = &self.den * &dd;
+        Rat::new(num, den)
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        // Cross-reduce before multiplying.
+        let g1 = self.num.gcd(&rhs.den);
+        let g2 = rhs.num.gcd(&self.den);
+        let num = (&self.num / &g1) * (&rhs.num / &g2);
+        let den = (&self.den / &g2) * (&rhs.den / &g1);
+        // num/den already coprime; construct directly but keep sign rules.
+        Rat::new(num, den)
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    fn div(self, rhs: &Rat) -> Rat {
+        assert!(!rhs.is_zero(), "Rat division by zero");
+        self * &rhs.recip()
+    }
+}
+
+macro_rules! forward_owned_binop_rat {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop_rat!(Add, add);
+forward_owned_binop_rat!(Sub, sub);
+forward_owned_binop_rat!(Mul, mul);
+forward_owned_binop_rat!(Div, div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Cheap sign comparison first.
+        let s = self.sign().to_i32().cmp(&other.sign().to_i32());
+        if s != Ordering::Equal {
+            return s;
+        }
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+/// Error returned when parsing a [`Rat`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError {
+    msg: &'static str,
+}
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Rat literal: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    /// Accepts `"p"`, `"p/q"` and decimal `"d.ddd"` forms (optionally signed).
+    fn from_str(s: &str) -> Result<Rat, ParseRatError> {
+        if let Some((p, q)) = s.split_once('/') {
+            let num: BigInt =
+                p.trim().parse().map_err(|_| ParseRatError { msg: "bad numerator" })?;
+            let den: BigInt =
+                q.trim().parse().map_err(|_| ParseRatError { msg: "bad denominator" })?;
+            if den.is_zero() {
+                return Err(ParseRatError { msg: "zero denominator" });
+            }
+            return Ok(Rat::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let neg = int_part.trim_start().starts_with('-');
+            let int: BigInt = if int_part.is_empty() || int_part == "-" || int_part == "+" {
+                BigInt::zero()
+            } else {
+                int_part.parse().map_err(|_| ParseRatError { msg: "bad integer part" })?
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseRatError { msg: "bad fractional part" });
+            }
+            let frac: BigInt =
+                frac_part.parse().map_err(|_| ParseRatError { msg: "bad fractional part" })?;
+            let scale = BigInt::from(10i64).pow(frac_part.len() as u32);
+            let mag = &int.abs() * &scale + &frac;
+            let num = if neg { -mag } else { mag };
+            return Ok(Rat::new(num, scale));
+        }
+        let num: BigInt = s.parse().map_err(|_| ParseRatError { msg: "bad integer" })?;
+        Ok(Rat::from(num))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Rat {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r("2/6"), r("1/3"));
+        assert_eq!(r("-2/6"), r("-1/3"));
+        assert_eq!(r("2/-6"), r("-1/3"));
+        assert_eq!(r("-2/-6"), r("1/3"));
+        assert_eq!(r("0/5"), Rat::zero());
+        assert!(r("1/3").denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(BigInt::one(), BigInt::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r("1/2") + r("1/3"), r("5/6"));
+        assert_eq!(r("1/2") - r("1/3"), r("1/6"));
+        assert_eq!(r("2/3") * r("3/4"), r("1/2"));
+        assert_eq!(r("1/2") / r("1/4"), r("2"));
+        assert_eq!(r("-1/2") * r("-1/2"), r("1/4"));
+    }
+
+    #[test]
+    fn comparison() {
+        assert!(r("1/3") < r("1/2"));
+        assert!(r("-1/2") < r("-1/3"));
+        assert!(r("-1") < r("1/1000000"));
+        assert_eq!(r("7/7"), Rat::one());
+        assert!(r("10/3") > r("3"));
+    }
+
+    #[test]
+    fn parse_decimal() {
+        assert_eq!(r("1.25"), r("5/4"));
+        assert_eq!(r("-0.5"), r("-1/2"));
+        assert_eq!(r("0.125"), r("1/8"));
+        assert_eq!(r("3.".trim_end_matches('.')), r("3"));
+        assert!("1.2.3".parse::<Rat>().is_err());
+        assert!("1.".parse::<Rat>().is_err());
+        assert!("a/b".parse::<Rat>().is_err());
+        assert!("1/0".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn from_f64_exact() {
+        assert_eq!(Rat::from_f64(0.5).unwrap(), r("1/2"));
+        assert_eq!(Rat::from_f64(-0.75).unwrap(), r("-3/4"));
+        assert_eq!(Rat::from_f64(3.0).unwrap(), r("3"));
+        assert_eq!(Rat::from_f64(0.0).unwrap(), Rat::zero());
+        assert!(Rat::from_f64(f64::NAN).is_none());
+        assert!(Rat::from_f64(f64::INFINITY).is_none());
+        // 0.1 is not exactly 1/10 in binary; round-trip must match the double.
+        let tenth = Rat::from_f64(0.1).unwrap();
+        assert_eq!(tenth.to_f64(), 0.1);
+        assert_ne!(tenth, r("1/10"));
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(r("1/2").to_f64(), 0.5);
+        assert_eq!(r("-7").to_f64(), -7.0);
+        let x = r("123456789/1000000");
+        assert!((x.to_f64() - 123.456789).abs() < 1e-9);
+        // Huge numerator and denominator.
+        let big = Rat::new(BigInt::from(7i64).pow(100), BigInt::from(11i64).pow(90));
+        let expect = 100.0 * 7f64.ln().exp2().log2(); // dummy to avoid constant folding; real check below
+        let _ = expect;
+        let lg = 100.0 * 7f64.log2() - 90.0 * 11f64.log2();
+        assert!((big.to_f64().log2() - lg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r("7/2").floor(), BigInt::from(3i64));
+        assert_eq!(r("7/2").ceil(), BigInt::from(4i64));
+        assert_eq!(r("-7/2").floor(), BigInt::from(-4i64));
+        assert_eq!(r("-7/2").ceil(), BigInt::from(-3i64));
+        assert_eq!(r("4").floor(), BigInt::from(4i64));
+        assert_eq!(r("4").ceil(), BigInt::from(4i64));
+    }
+
+    #[test]
+    fn recip_and_midpoint() {
+        assert_eq!(r("3/4").recip(), r("4/3"));
+        assert_eq!(r("-3/4").recip(), r("-4/3"));
+        assert_eq!(r("1/2").midpoint(&r("1/4")), r("3/8"));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rat::zero().recip();
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(r("1/2").min(r("1/3")), r("1/3"));
+        assert_eq!(r("1/2").max(r("1/3")), r("1/2"));
+        assert_eq!(r("5").clamp(&r("0"), &r("3")), r("3"));
+        assert_eq!(r("-5").clamp(&r("0"), &r("3")), r("0"));
+        assert_eq!(r("2").clamp(&r("0"), &r("3")), r("2"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r("3/6").to_string(), "1/2");
+        assert_eq!(r("4/2").to_string(), "2");
+        assert_eq!(r("-1/3").to_string(), "-1/3");
+    }
+}

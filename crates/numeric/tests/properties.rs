@@ -1,0 +1,196 @@
+//! Property-based tests for the numeric substrate.
+//!
+//! These check the algebraic laws that the rest of the workspace silently
+//! relies on: field axioms for `Rat`, ring axioms and Euclidean division for
+//! `BigInt`, and soundness (containment) for `Interval`.
+
+use cso_numeric::{BigInt, Interval, Rat};
+use proptest::prelude::*;
+
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    // Mix small values with products of large factors to stress multi-limb paths.
+    prop_oneof![
+        any::<i64>().prop_map(BigInt::from),
+        (any::<i128>(), any::<i64>())
+            .prop_map(|(a, b)| &BigInt::from(a) * &BigInt::from(b)),
+        (any::<i128>(), any::<i128>(), any::<u8>()).prop_map(|(a, b, s)| {
+            (&BigInt::from(a) * &BigInt::from(b)).shl(u64::from(s % 64))
+        }),
+    ]
+}
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (any::<i64>(), 1i64..=i64::MAX)
+        .prop_map(|(p, q)| Rat::new(BigInt::from(p), BigInt::from(q)))
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(a, b)| {
+        Interval::new(a.min(b), a.max(b))
+    })
+}
+
+proptest! {
+    #[test]
+    fn bigint_add_commutes(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn bigint_add_associates(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn bigint_mul_distributes(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn bigint_sub_inverse(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn bigint_divrem_identity(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Remainder sign matches dividend (truncated division).
+        prop_assert!(r.is_zero() || r.sign() == a.sign());
+    }
+
+    #[test]
+    fn bigint_parse_roundtrip(a in arb_bigint()) {
+        let s = a.to_string();
+        let back: BigInt = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!a.is_zero() || !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn bigint_shift_roundtrip(a in arb_bigint(), s in 0u64..200) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    #[test]
+    fn bigint_ordering_consistent_with_sub(a in arb_bigint(), b in arb_bigint()) {
+        let d = &a - &b;
+        prop_assert_eq!(a.cmp(&b), d.cmp(&BigInt::zero()));
+    }
+
+    #[test]
+    fn rat_field_add_commutes(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn rat_mul_associates(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn rat_distributive(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn rat_div_inverse(a in arb_rat(), b in arb_rat()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(&(&a / &b) * &b, a);
+    }
+
+    #[test]
+    fn rat_normalized(a in arb_rat()) {
+        prop_assert!(a.denom().is_positive());
+        prop_assert!(a.numer().gcd(a.denom()).is_one() || a.is_zero());
+    }
+
+    #[test]
+    fn rat_ordering_total(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        // Transitivity spot-check.
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn rat_f64_roundtrip_is_exact(x in -1e12f64..1e12) {
+        let r = Rat::from_f64(x).unwrap();
+        prop_assert_eq!(r.to_f64(), x);
+    }
+
+    #[test]
+    fn rat_floor_le_ceil(a in arb_rat()) {
+        let f = Rat::from(a.floor());
+        let c = Rat::from(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(&c - &f <= Rat::one());
+    }
+
+    #[test]
+    fn interval_add_sound(i in arb_interval(), j in arb_interval(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
+        let x = i.lo() + t * (i.hi() - i.lo());
+        let y = j.lo() + u * (j.hi() - j.lo());
+        prop_assert!((i + j).contains_f64(x + y));
+    }
+
+    #[test]
+    fn interval_mul_sound(i in arb_interval(), j in arb_interval(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
+        let x = i.lo() + t * (i.hi() - i.lo());
+        let y = j.lo() + u * (j.hi() - j.lo());
+        prop_assert!((i * j).contains_f64(x * y));
+    }
+
+    #[test]
+    fn interval_div_sound(i in arb_interval(), j in arb_interval(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
+        let x = i.lo() + t * (i.hi() - i.lo());
+        let y = j.lo() + u * (j.hi() - j.lo());
+        prop_assume!(y != 0.0);
+        prop_assert!((i / j).contains_f64(x / y));
+    }
+
+    #[test]
+    fn interval_sub_sound(i in arb_interval(), j in arb_interval(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
+        let x = i.lo() + t * (i.hi() - i.lo());
+        let y = j.lo() + u * (j.hi() - j.lo());
+        prop_assert!((i - j).contains_f64(x - y));
+    }
+
+    #[test]
+    fn interval_bisect_partitions(i in arb_interval()) {
+        let (l, r) = i.bisect();
+        prop_assert_eq!(l.lo(), i.lo());
+        prop_assert_eq!(r.hi(), i.hi());
+        prop_assert_eq!(l.hi(), r.lo());
+        prop_assert!(i.contains(&l) && i.contains(&r));
+    }
+
+    #[test]
+    fn interval_intersect_commutes(i in arb_interval(), j in arb_interval()) {
+        prop_assert_eq!(i.intersect(&j), j.intersect(&i));
+        if let Some(k) = i.intersect(&j) {
+            prop_assert!(i.contains(&k) && j.contains(&k));
+        }
+    }
+
+    #[test]
+    fn rat_from_f64_matches_interval(x in -1e9f64..1e9, y in -1e9f64..1e9) {
+        // Exact rational arithmetic must land inside the outward-rounded
+        // interval product: the agreement contract between the two layers.
+        let rx = Rat::from_f64(x).unwrap();
+        let ry = Rat::from_f64(y).unwrap();
+        let exact = (&rx * &ry).to_f64();
+        let iv = Interval::point(x) * Interval::point(y);
+        prop_assert!(iv.contains_f64(exact));
+    }
+}

@@ -1,0 +1,230 @@
+//! Reachability, cycle finding and topological ordering over the quotient
+//! graph (scenarios collapsed into indifference classes).
+
+use crate::graph::{EdgeId, PrefGraph, ScenarioId};
+use std::collections::HashMap;
+
+/// Find a directed cycle among active edges (over indifference classes).
+/// Returns the edge ids forming the cycle, or `None` if the graph is a DAG.
+#[must_use]
+pub fn find_cycle<S>(g: &PrefGraph<S>) -> Option<Vec<EdgeId>> {
+    // Build the quotient adjacency once.
+    let n = g.scenario_count();
+    let mut adj: Vec<Vec<(usize, EdgeId)>> = vec![Vec::new(); n];
+    for (i, e) in g.all_edges().iter().enumerate() {
+        if e.removed {
+            continue;
+        }
+        let u = g.class_of(e.preferred).index();
+        let v = g.class_of(e.other).index();
+        if u == v {
+            // A strict edge within a class is a self-loop: a 1-cycle.
+            return Some(vec![EdgeId(i)]);
+        }
+        adj[u].push((v, EdgeId(i)));
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    // Iterative DFS carrying the edge path.
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack of (node, next child index).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        let mut path_edges: Vec<EdgeId> = Vec::new();
+        let mut path_nodes: Vec<usize> = vec![start];
+        color[start] = Color::Grey;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if *next < adj[u].len() {
+                let (v, eid) = adj[u][*next];
+                *next += 1;
+                match color[v] {
+                    Color::Grey => {
+                        // Found a cycle: slice the path from v onwards.
+                        let pos = path_nodes.iter().position(|&x| x == v).expect("grey on path");
+                        let mut cycle = path_edges[pos..].to_vec();
+                        cycle.push(eid);
+                        return Some(cycle);
+                    }
+                    Color::White => {
+                        color[v] = Color::Grey;
+                        stack.push((v, 0));
+                        path_edges.push(eid);
+                        path_nodes.push(v);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[u] = Color::Black;
+                stack.pop();
+                path_nodes.pop();
+                path_edges.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Topological order of indifference-class representatives, most preferred
+/// first. Returns `None` if the graph has a cycle.
+#[must_use]
+pub fn topo_order<S>(g: &PrefGraph<S>) -> Option<Vec<ScenarioId>> {
+    let n = g.scenario_count();
+    let mut indeg: HashMap<usize, usize> = HashMap::new();
+    let mut reps: Vec<usize> = Vec::new();
+    for id in 0..n {
+        let rep = g.class_of(ScenarioId(id)).index();
+        if rep == id {
+            reps.push(id);
+            indeg.entry(id).or_insert(0);
+        }
+    }
+    let mut adj: Vec<(usize, usize)> = Vec::new();
+    for e in g.active_edges() {
+        let u = g.class_of(e.preferred).index();
+        let v = g.class_of(e.other).index();
+        if u == v {
+            return None;
+        }
+        adj.push((u, v));
+        *indeg.entry(v).or_insert(0) += 1;
+    }
+    let mut queue: Vec<usize> = reps.iter().copied().filter(|r| indeg[r] == 0).collect();
+    queue.sort_unstable();
+    let mut out = Vec::with_capacity(reps.len());
+    while let Some(u) = queue.pop() {
+        out.push(ScenarioId(u));
+        for &(a, b) in &adj {
+            if a == u {
+                let d = indeg.get_mut(&b).expect("known rep");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    if out.len() == reps.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Count of ordered class pairs `(a, b)` with `a` strictly above `b` —
+/// i.e. the size of the transitive closure. Useful as a measure of how
+/// constrained the preference graph has become.
+#[must_use]
+pub fn closure_size<S>(g: &PrefGraph<S>) -> usize {
+    let mut count = 0;
+    let ids: Vec<ScenarioId> = g.scenario_ids().collect();
+    for &a in &ids {
+        if g.class_of(a) != a {
+            continue;
+        }
+        for &b in &ids {
+            if g.class_of(b) != b || a == b {
+                continue;
+            }
+            if g.reaches(a, b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let mut g = PrefGraph::new();
+        let a = g.add_scenario(());
+        let b = g.add_scenario(());
+        let c = g.add_scenario(());
+        g.prefer(a, b).unwrap();
+        g.prefer(b, c).unwrap();
+        g.prefer(a, c).unwrap();
+        assert!(find_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn finds_simple_cycle() {
+        let mut g = PrefGraph::new();
+        let a = g.add_scenario(());
+        let b = g.add_scenario(());
+        let c = g.add_scenario(());
+        g.prefer_unchecked(a, b, 1.0);
+        g.prefer_unchecked(b, c, 1.0);
+        g.prefer_unchecked(c, a, 1.0);
+        let cyc = find_cycle(&g).expect("cycle");
+        assert_eq!(cyc.len(), 3);
+    }
+
+    #[test]
+    fn finds_cycle_through_indifference() {
+        let mut g = PrefGraph::new();
+        let a = g.add_scenario(());
+        let b = g.add_scenario(());
+        let c = g.add_scenario(());
+        g.prefer_unchecked(a, b, 1.0);
+        g.mark_indifferent(b, c).unwrap();
+        g.prefer_unchecked(c, a, 1.0);
+        assert!(find_cycle(&g).is_some());
+    }
+
+    #[test]
+    fn self_loop_via_class_is_one_cycle() {
+        let mut g = PrefGraph::new();
+        let a = g.add_scenario(());
+        let b = g.add_scenario(());
+        g.mark_indifferent(a, b).unwrap();
+        g.prefer_unchecked(a, b, 0.5);
+        let cyc = find_cycle(&g).expect("self-loop cycle");
+        assert_eq!(cyc.len(), 1);
+    }
+
+    #[test]
+    fn topo_order_most_preferred_first() {
+        let mut g = PrefGraph::new();
+        let a = g.add_scenario("best");
+        let b = g.add_scenario("mid");
+        let c = g.add_scenario("worst");
+        g.prefer(b, c).unwrap();
+        g.prefer(a, b).unwrap();
+        let order = topo_order(&g).expect("dag");
+        let pos = |x: ScenarioId| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn topo_order_none_on_cycle() {
+        let mut g = PrefGraph::new();
+        let a = g.add_scenario(());
+        let b = g.add_scenario(());
+        g.prefer_unchecked(a, b, 1.0);
+        g.prefer_unchecked(b, a, 1.0);
+        assert!(topo_order(&g).is_none());
+    }
+
+    #[test]
+    fn closure_counts_transitive_pairs() {
+        let mut g = PrefGraph::new();
+        let a = g.add_scenario(());
+        let b = g.add_scenario(());
+        let c = g.add_scenario(());
+        g.prefer(a, b).unwrap();
+        g.prefer(b, c).unwrap();
+        assert_eq!(closure_size(&g), 3); // a>b, b>c, a>c
+    }
+}

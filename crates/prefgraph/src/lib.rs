@@ -1,0 +1,31 @@
+//! Preference DAG over concrete scenarios.
+//!
+//! The comparative synthesizer records the architect's answers as a directed
+//! graph `G`: each vertex is a concrete *scenario* (a metric combination,
+//! e.g. `(throughput = 2, latency = 100)`), and each edge `a → b` states
+//! that the architect prefers `a` over `b`. A synthesized objective `f` is
+//! *consistent* with `G` iff `f(a) > f(b)` for every edge — transitivity is
+//! free, because `>` on reals is transitive, so only direct edges need to be
+//! turned into constraints.
+//!
+//! The paper also allows *partial* ranks: the user may declare two scenarios
+//! indistinguishable. We model that with indifference classes (union-find);
+//! an objective must then satisfy `f(a) = f(b)` within a class.
+//!
+//! Strict preferences must stay acyclic (a cycle admits no objective).
+//! [`PrefGraph::prefer`] refuses edges that would close a cycle, which is
+//! the right behaviour for a trusted oracle; for the §6.1 robustness
+//! experiments, [`PrefGraph::prefer_unchecked`] admits noisy edges and
+//! [`noise::repair`] removes a low-confidence feedback set afterwards.
+//!
+//! The graph is generic over the scenario payload `S`; the synthesis engine
+//! instantiates it with metric vectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod graph;
+pub mod noise;
+
+pub use graph::{CycleError, EdgeId, PrefEdge, PrefGraph, ScenarioId};

@@ -1,0 +1,123 @@
+//! Property-based tests for the preference graph.
+
+use cso_prefgraph::{closure, noise, PrefGraph};
+use proptest::prelude::*;
+
+/// A random edge script over `n` scenarios: (from, to, checked).
+fn arb_script() -> impl Strategy<Value = (usize, Vec<(usize, usize, bool)>)> {
+    (3usize..8).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            ((0..n), (0..n), any::<bool>()),
+            0..20,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn checked_insertion_keeps_graph_acyclic((n, script) in arb_script()) {
+        let mut g = PrefGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
+        for (a, b, _) in script {
+            if a != b {
+                // Errors are fine; panics or cycles are not.
+                let _ = g.prefer(ids[a], ids[b]);
+            }
+        }
+        prop_assert!(g.is_consistent());
+        prop_assert!(closure::topo_order(&g).is_some());
+    }
+
+    #[test]
+    fn repair_always_restores_consistency((n, script) in arb_script()) {
+        let mut g = PrefGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
+        for (i, (a, b, _)) in script.iter().enumerate() {
+            if a != b {
+                g.prefer_unchecked(ids[*a], ids[*b], 0.1 + 0.05 * (i % 10) as f64);
+            }
+        }
+        let removed = noise::repair(&mut g);
+        prop_assert!(g.is_consistent(), "repair must terminate consistent");
+        // Removed edges are a subset of all edges.
+        prop_assert!(removed.len() <= g.all_edges().len());
+        // Repair is idempotent.
+        prop_assert!(noise::repair(&mut g).is_empty());
+    }
+
+    #[test]
+    fn reachability_is_transitive((n, script) in arb_script()) {
+        let mut g = PrefGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
+        for (a, b, _) in script {
+            if a != b {
+                let _ = g.prefer(ids[a], ids[b]);
+            }
+        }
+        for &a in &ids {
+            for &b in &ids {
+                for &c in &ids {
+                    if g.reaches(a, b) && g.reaches(b, c) {
+                        prop_assert!(g.reaches(a, c), "transitivity violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_is_antisymmetric_on_dags((n, script) in arb_script()) {
+        let mut g = PrefGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
+        for (a, b, _) in script {
+            if a != b {
+                let _ = g.prefer(ids[a], ids[b]);
+            }
+        }
+        for &a in &ids {
+            for &b in &ids {
+                prop_assert!(
+                    !(g.reaches(a, b) && g.reaches(b, a)),
+                    "both directions reachable: cycle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indifference_is_an_equivalence((n, script) in arb_script()) {
+        let mut g = PrefGraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
+        for (a, b, checked) in script {
+            if a == b {
+                continue;
+            }
+            if checked {
+                let _ = g.mark_indifferent(ids[a], ids[b]);
+            } else {
+                let _ = g.prefer(ids[a], ids[b]);
+            }
+        }
+        // Reflexive, symmetric, transitive.
+        for &a in &ids {
+            prop_assert!(g.indifferent(a, a));
+            for &b in &ids {
+                prop_assert_eq!(g.indifferent(a, b), g.indifferent(b, a));
+                for &c in &ids {
+                    if g.indifferent(a, b) && g.indifferent(b, c) {
+                        prop_assert!(g.indifferent(a, c));
+                    }
+                }
+            }
+        }
+        // Strict preference never holds within a class.
+        for &a in &ids {
+            for &b in &ids {
+                if g.indifferent(a, b) {
+                    prop_assert!(!g.reaches(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Resolved sketch AST.
+//!
+//! After parsing, parameters and holes are interned to dense indices:
+//! `Expr::Param(i)` is the i-th function parameter (a metric such as
+//! throughput), `Expr::Hole(i)` is the i-th declared hole. The AST is
+//! immutable and shared via `Rc` where sub-expressions repeat.
+
+use cso_numeric::Rat;
+use std::fmt;
+use std::rc::Rc;
+
+/// A declared hole: a named unknown constant the synthesizer must fill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoleDecl {
+    /// Hole name as written after `??`.
+    pub name: String,
+    /// Optional range from `in [lo, hi]`; holes without explicit ranges
+    /// inherit the engine-wide default hole range.
+    pub bounds: Option<(Rat, Rat)>,
+}
+
+/// A numeric expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal rational.
+    Num(Rat),
+    /// The i-th function parameter.
+    Param(usize),
+    /// The i-th declared hole.
+    Hole(usize),
+    /// Unary minus.
+    Neg(Rc<Expr>),
+    /// Addition.
+    Add(Rc<Expr>, Rc<Expr>),
+    /// Subtraction.
+    Sub(Rc<Expr>, Rc<Expr>),
+    /// Multiplication.
+    Mul(Rc<Expr>, Rc<Expr>),
+    /// Division.
+    Div(Rc<Expr>, Rc<Expr>),
+    /// Pointwise minimum.
+    Min(Rc<Expr>, Rc<Expr>),
+    /// Pointwise maximum.
+    Max(Rc<Expr>, Rc<Expr>),
+    /// Conditional.
+    If(Rc<BExpr>, Rc<Expr>, Rc<Expr>),
+}
+
+/// A boolean expression (only usable as an `if` condition).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BExpr {
+    /// Comparison of two numeric expressions.
+    Cmp(CmpKind, Rc<Expr>, Rc<Expr>),
+    /// Conjunction.
+    And(Rc<BExpr>, Rc<BExpr>),
+    /// Disjunction.
+    Or(Rc<BExpr>, Rc<BExpr>),
+    /// Negation.
+    Not(Rc<BExpr>),
+}
+
+/// Comparison operators in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpKind {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl Expr {
+    /// Count AST nodes (for diagnostics and tests).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Param(_) | Expr::Hole(_) => 1,
+            Expr::Neg(a) => 1 + a.size(),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => 1 + a.size() + b.size(),
+            Expr::If(c, a, b) => 1 + c.size() + a.size() + b.size(),
+        }
+    }
+
+    /// Indices of holes mentioned, sorted and deduplicated.
+    #[must_use]
+    pub fn holes_used(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_holes(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_holes(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Num(_) | Expr::Param(_) => {}
+            Expr::Hole(i) => out.push(*i),
+            Expr::Neg(a) => a.collect_holes(out),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.collect_holes(out);
+                b.collect_holes(out);
+            }
+            Expr::If(c, a, b) => {
+                c.collect_holes(out);
+                a.collect_holes(out);
+                b.collect_holes(out);
+            }
+        }
+    }
+}
+
+impl BExpr {
+    /// Count AST nodes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            BExpr::Cmp(_, a, b) => 1 + a.size() + b.size(),
+            BExpr::And(a, b) | BExpr::Or(a, b) => 1 + a.size() + b.size(),
+            BExpr::Not(a) => 1 + a.size(),
+        }
+    }
+
+    fn collect_holes(&self, out: &mut Vec<usize>) {
+        match self {
+            BExpr::Cmp(_, a, b) => {
+                a.collect_holes(out);
+                b.collect_holes(out);
+            }
+            BExpr::And(a, b) | BExpr::Or(a, b) => {
+                a.collect_holes(out);
+                b.collect_holes(out);
+            }
+            BExpr::Not(a) => a.collect_holes(out),
+        }
+    }
+}
+
+impl fmt::Display for CmpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpKind::Lt => "<",
+            CmpKind::Le => "<=",
+            CmpKind::Gt => ">",
+            CmpKind::Ge => ">=",
+            CmpKind::Eq => "==",
+            CmpKind::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_holes() {
+        let e = Expr::Add(
+            Rc::new(Expr::Hole(1)),
+            Rc::new(Expr::Mul(Rc::new(Expr::Param(0)), Rc::new(Expr::Hole(0)))),
+        );
+        assert_eq!(e.size(), 5);
+        assert_eq!(e.holes_used(), vec![0, 1]);
+    }
+
+    #[test]
+    fn if_holes_include_condition() {
+        let c = BExpr::Cmp(CmpKind::Ge, Rc::new(Expr::Param(0)), Rc::new(Expr::Hole(2)));
+        let e = Expr::If(Rc::new(c), Rc::new(Expr::Num(Rat::one())), Rc::new(Expr::Hole(2)));
+        assert_eq!(e.holes_used(), vec![2]);
+    }
+}

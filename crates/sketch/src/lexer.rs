@@ -1,0 +1,401 @@
+//! Tokenizer for the sketch language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Numeric literal (integer or decimal), kept as text for exact parsing.
+    Number(String),
+    /// `??` hole marker.
+    HoleMark,
+    /// `fn`
+    Fn,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `in`
+    In,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(s) => write!(f, "{s}"),
+            Token::HoleMark => write!(f, "??"),
+            Token::Fn => write!(f, "fn"),
+            Token::If => write!(f, "if"),
+            Token::Then => write!(f, "then"),
+            Token::Else => write!(f, "else"),
+            Token::In => write!(f, "in"),
+            Token::Min => write!(f, "min"),
+            Token::Max => write!(f, "max"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize sketch source. Line comments start with `#` or `//`.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            '{' => {
+                out.push(Spanned { token: Token::LBrace, offset: i });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { token: Token::RBrace, offset: i });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned { token: Token::LBracket, offset: i });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned { token: Token::RBracket, offset: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            '?' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'?' {
+                    out.push(Spanned { token: Token::HoleMark, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "lone '?'".into(), offset: i });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Le, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Ge, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::EqEq, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "'=' is not assignment; use '==' for comparison".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Ne, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Bang, offset: i });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    out.push(Spanned { token: Token::AndAnd, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "lone '&'".into(), offset: i });
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    out.push(Spanned { token: Token::OrOr, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "lone '|'".into(), offset: i });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    if i >= bytes.len() || !(bytes[i] as char).is_ascii_digit() {
+                        return Err(LexError {
+                            message: "decimal point must be followed by digits".into(),
+                            offset: i,
+                        });
+                    }
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Number(src[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let token = match word {
+                    "fn" => Token::Fn,
+                    "if" => Token::If,
+                    "then" => Token::Then,
+                    "else" => Token::Else,
+                    "in" => Token::In,
+                    "min" => Token::Min,
+                    "max" => Token::Max,
+                    _ => Token::Ident(word.to_owned()),
+                };
+                out.push(Spanned { token, offset: start });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fn objective if then else in min max foo _bar x2"),
+            vec![
+                Token::Fn,
+                Token::Ident("objective".into()),
+                Token::If,
+                Token::Then,
+                Token::Else,
+                Token::In,
+                Token::Min,
+                Token::Max,
+                Token::Ident("foo".into()),
+                Token::Ident("_bar".into()),
+                Token::Ident("x2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("0 42 3.25"),
+            vec![
+                Token::Number("0".into()),
+                Token::Number("42".into()),
+                Token::Number("3.25".into())
+            ]
+        );
+        assert!(lex("3.").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("+ - * / < <= > >= == != && || ! ??"),
+            vec![
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::EqEq,
+                Token::Ne,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Bang,
+                Token::HoleMark,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("1 # comment\n2 // another\n3"), vec![
+            Token::Number("1".into()),
+            Token::Number("2".into()),
+            Token::Number("3".into()),
+        ]);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("abc $").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a ? b").is_err());
+        assert!(lex("a = b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let spanned = lex("ab + cd").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 3);
+        assert_eq!(spanned[2].offset, 5);
+    }
+}

@@ -1,0 +1,54 @@
+//! Objective-function sketch DSL.
+//!
+//! The paper adopts sketch-based synthesis (Solar-Lezama et al.): a domain
+//! expert writes an objective function *template* containing named holes,
+//! and the synthesizer fills the holes. This crate implements the sketch
+//! language end to end:
+//!
+//! * a textual surface syntax with `??hole in [lo, hi]` hole declarations
+//!   ([`lexer`], [`parser`]);
+//! * a resolved AST ([`ast`]) with parameters and holes interned to indices;
+//! * exact evaluation of a completed sketch on metric vectors;
+//! * lowering to `cso-logic` terms, with holes either as solver variables
+//!   (for synthesis queries) or frozen constants (for candidate objectives).
+//!
+//! The SWAN sketch from Figure 2a of the paper ships as a built-in
+//! ([`swan::swan_sketch`]), together with the ground-truth completion of
+//! Figure 2b and the generalized multi-region variant the paper mentions.
+//!
+//! # Example
+//!
+//! ```
+//! use cso_sketch::Sketch;
+//! use cso_numeric::Rat;
+//!
+//! let src = r#"
+//!     fn objective(throughput, latency) {
+//!         if throughput >= ??tp_thrsh in [0, 10] && latency <= ??l_thrsh in [0, 200] then
+//!             throughput - ??slope1 in [0, 10] * throughput * latency + 1000
+//!         else
+//!             throughput - ??slope2 in [0, 10] * throughput * latency
+//!     }
+//! "#;
+//! let sketch = Sketch::parse(src).unwrap();
+//! assert_eq!(sketch.holes().len(), 4);
+//! let target = sketch.complete(vec![
+//!     Rat::from_int(1), Rat::from_int(50), Rat::from_int(1), Rat::from_int(5),
+//! ]).unwrap();
+//! // Figure 2b: f(2, 10) = 2 - 1*2*10 + 1000 = 982
+//! let v = target.eval(&[Rat::from_int(2), Rat::from_int(10)]).unwrap();
+//! assert_eq!(v, Rat::from_int(982));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod sketch;
+pub mod swan;
+
+pub use ast::{BExpr, Expr, HoleDecl};
+pub use parser::ParseError;
+pub use sketch::{CompletedObjective, Sketch};

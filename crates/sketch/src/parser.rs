@@ -1,0 +1,492 @@
+//! Recursive-descent parser for the sketch language.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! sketch  := "fn" IDENT "(" params ")" "{" expr "}"
+//! params  := IDENT ("," IDENT)*
+//! expr    := "if" bexpr "then" expr "else" expr | arith
+//! arith   := term (("+" | "-") term)*
+//! term    := factor (("*" | "/") factor)*
+//! factor  := "-" factor | atom
+//! atom    := NUMBER | IDENT | hole | "(" expr ")"
+//!          | ("min" | "max") "(" expr "," expr ")"
+//! hole    := "??" IDENT ("in" "[" num "," num "]")?
+//! bexpr   := bterm ("||" bterm)*
+//! bterm   := bfact ("&&" bfact)*
+//! bfact   := "!" bfact | "(" bexpr ")" | cmp
+//! cmp     := arith ("<" | "<=" | ">" | ">=" | "==" | "!=") arith
+//! ```
+//!
+//! A hole may be declared with a range once and referenced again by `??name`
+//! elsewhere; re-declaring with a *different* range is an error.
+
+use crate::ast::{BExpr, CmpKind, Expr, HoleDecl};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use crate::sketch::Sketch;
+use cso_numeric::Rat;
+use std::fmt;
+use std::rc::Rc;
+
+/// A parse (or lex) error with source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset into the source, when known.
+    pub offset: Option<usize>,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "parse error at byte {o}: {}", self.message),
+            None => write!(f, "parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: e.message, offset: Some(e.offset) }
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    params: Vec<String>,
+    holes: Vec<HoleDecl>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> Option<usize> {
+        self.toks.get(self.pos).map(|s| s.offset)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|s| s.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: msg.into(), offset: self.offset() })
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(x) if x == t => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(x) => {
+                let x = x.clone();
+                self.err(format!("expected `{t}`, found `{x}`"))
+            }
+            None => self.err(format!("expected `{t}`, found end of input")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(other) => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found `{other}`"))
+            }
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Rat, ParseError> {
+        match self.bump() {
+            Some(Token::Number(s)) => s.parse::<Rat>().map_err(|e| ParseError {
+                message: format!("bad number literal {s:?}: {e}"),
+                offset: None,
+            }),
+            Some(other) => {
+                self.pos -= 1;
+                self.err(format!("expected number, found `{other}`"))
+            }
+            None => self.err("expected number, found end of input"),
+        }
+    }
+
+    /// Signed numeric literal for hole ranges.
+    fn parse_signed_number(&mut self) -> Result<Rat, ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            Ok(-self.parse_number()?)
+        } else {
+            self.parse_number()
+        }
+    }
+
+    fn parse_sketch(&mut self) -> Result<(String, Expr), ParseError> {
+        self.expect(&Token::Fn)?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::LParen)?;
+        loop {
+            let p = self.expect_ident()?;
+            if self.params.contains(&p) {
+                return self.err(format!("duplicate parameter `{p}`"));
+            }
+            self.params.push(p);
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::LBrace)?;
+        let body = self.parse_expr()?;
+        self.expect(&Token::RBrace)?;
+        if self.pos != self.toks.len() {
+            return self.err("trailing input after sketch body");
+        }
+        Ok((name, body))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::If) {
+            self.pos += 1;
+            let cond = self.parse_bexpr()?;
+            self.expect(&Token::Then)?;
+            let then = self.parse_expr()?;
+            self.expect(&Token::Else)?;
+            let els = self.parse_expr()?;
+            return Ok(Expr::If(Rc::new(cond), Rc::new(then), Rc::new(els)));
+        }
+        self.parse_arith()
+    }
+
+    fn parse_arith(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::Add(Rc::new(lhs), Rc::new(rhs));
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::Sub(Rc::new(lhs), Rc::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.pos += 1;
+                    let rhs = self.parse_factor()?;
+                    lhs = Expr::Mul(Rc::new(lhs), Rc::new(rhs));
+                }
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    let rhs = self.parse_factor()?;
+                    lhs = Expr::Div(Rc::new(lhs), Rc::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            let inner = self.parse_factor()?;
+            return Ok(Expr::Neg(Rc::new(inner)));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Number(_)) => Ok(Expr::Num(self.parse_number()?)),
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                match self.params.iter().position(|p| p == &name) {
+                    Some(i) => Ok(Expr::Param(i)),
+                    None => {
+                        self.pos -= 1;
+                        self.err(format!("unknown identifier `{name}` (not a parameter)"))
+                    }
+                }
+            }
+            Some(Token::HoleMark) => {
+                self.pos += 1;
+                self.parse_hole()
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(tok @ (Token::Min | Token::Max)) => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let a = self.parse_expr()?;
+                self.expect(&Token::Comma)?;
+                let b = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(if tok == Token::Min {
+                    Expr::Min(Rc::new(a), Rc::new(b))
+                } else {
+                    Expr::Max(Rc::new(a), Rc::new(b))
+                })
+            }
+            Some(other) => self.err(format!("expected expression, found `{other}`")),
+            None => self.err("expected expression, found end of input"),
+        }
+    }
+
+    fn parse_hole(&mut self) -> Result<Expr, ParseError> {
+        let name = self.expect_ident()?;
+        let bounds = if self.peek() == Some(&Token::In) {
+            self.pos += 1;
+            self.expect(&Token::LBracket)?;
+            let lo = self.parse_signed_number()?;
+            self.expect(&Token::Comma)?;
+            let hi = self.parse_signed_number()?;
+            self.expect(&Token::RBracket)?;
+            if lo > hi {
+                return self.err(format!("hole `{name}` range has lo > hi"));
+            }
+            Some((lo, hi))
+        } else {
+            None
+        };
+        if let Some(i) = self.holes.iter().position(|h| h.name == name) {
+            // Re-reference: ranges must agree (or the new one be absent).
+            match (&self.holes[i].bounds, &bounds) {
+                (_, None) => {}
+                (None, Some(b)) => self.holes[i].bounds = Some(b.clone()),
+                (Some(a), Some(b)) if a == b => {}
+                _ => {
+                    return self.err(format!(
+                        "hole `{name}` re-declared with a different range"
+                    ))
+                }
+            }
+            return Ok(Expr::Hole(i));
+        }
+        self.holes.push(HoleDecl { name, bounds });
+        Ok(Expr::Hole(self.holes.len() - 1))
+    }
+
+    fn parse_bexpr(&mut self) -> Result<BExpr, ParseError> {
+        let mut lhs = self.parse_bterm()?;
+        while self.peek() == Some(&Token::OrOr) {
+            self.pos += 1;
+            let rhs = self.parse_bterm()?;
+            lhs = BExpr::Or(Rc::new(lhs), Rc::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bterm(&mut self) -> Result<BExpr, ParseError> {
+        let mut lhs = self.parse_bfact()?;
+        while self.peek() == Some(&Token::AndAnd) {
+            self.pos += 1;
+            let rhs = self.parse_bfact()?;
+            lhs = BExpr::And(Rc::new(lhs), Rc::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_bfact(&mut self) -> Result<BExpr, ParseError> {
+        if self.peek() == Some(&Token::Bang) {
+            self.pos += 1;
+            let inner = self.parse_bfact()?;
+            return Ok(BExpr::Not(Rc::new(inner)));
+        }
+        // Disambiguate `(`: it may open a boolean group or a numeric
+        // sub-expression of a comparison. Try boolean group first with
+        // backtracking.
+        if self.peek() == Some(&Token::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            let saved_holes = self.holes.clone();
+            if let Ok(b) = self.parse_bexpr() {
+                if self.peek() == Some(&Token::RParen) {
+                    self.pos += 1;
+                    return Ok(b);
+                }
+            }
+            self.pos = save;
+            self.holes = saved_holes;
+        }
+        let lhs = self.parse_arith()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => CmpKind::Lt,
+            Some(Token::Le) => CmpKind::Le,
+            Some(Token::Gt) => CmpKind::Gt,
+            Some(Token::Ge) => CmpKind::Ge,
+            Some(Token::EqEq) => CmpKind::Eq,
+            Some(Token::Ne) => CmpKind::Ne,
+            _ => return self.err("expected comparison operator in condition"),
+        };
+        self.pos += 1;
+        let rhs = self.parse_arith()?;
+        Ok(BExpr::Cmp(op, Rc::new(lhs), Rc::new(rhs)))
+    }
+}
+
+/// Parse a full sketch definition.
+///
+/// # Errors
+/// Returns [`ParseError`] on any lexical or syntactic problem; the error
+/// carries a byte offset where available.
+pub fn parse_sketch(src: &str) -> Result<Sketch, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, params: Vec::new(), holes: Vec::new() };
+    let (name, body) = p.parse_sketch()?;
+    Ok(Sketch::from_parts(name, p.params, p.holes, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Sketch {
+        parse_sketch(src).unwrap()
+    }
+
+    #[test]
+    fn minimal_sketch() {
+        let s = parse("fn f(x) { x + 1 }");
+        assert_eq!(s.name(), "f");
+        assert_eq!(s.params(), ["x"]);
+        assert!(s.holes().is_empty());
+    }
+
+    #[test]
+    fn swan_figure_2a() {
+        let s = parse(
+            "fn objective(throughput, latency) {
+                if throughput >= ??tp_thrsh in [0, 10] && latency <= ??l_thrsh in [0, 200] then
+                    throughput - ??slope1 in [0, 10] * throughput * latency + 1000
+                else
+                    throughput - ??slope2 in [0, 10] * throughput * latency
+            }",
+        );
+        assert_eq!(s.params(), ["throughput", "latency"]);
+        let names: Vec<_> = s.holes().iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["tp_thrsh", "l_thrsh", "slope1", "slope2"]);
+        assert_eq!(
+            s.holes()[1].bounds,
+            Some((Rat::zero(), Rat::from_int(200)))
+        );
+    }
+
+    #[test]
+    fn hole_reference_shares_index() {
+        let s = parse("fn f(x) { ??a in [0, 1] * x + ??a }");
+        assert_eq!(s.holes().len(), 1);
+    }
+
+    #[test]
+    fn hole_range_conflict_rejected() {
+        let e = parse_sketch("fn f(x) { ??a in [0, 1] + ??a in [0, 2] }").unwrap_err();
+        assert!(e.message.contains("different range"), "{e}");
+    }
+
+    #[test]
+    fn hole_range_backfill() {
+        let s = parse("fn f(x) { ??a + ??a in [0, 3] }");
+        assert_eq!(s.holes()[0].bounds, Some((Rat::zero(), Rat::from_int(3))));
+    }
+
+    #[test]
+    fn negative_hole_range() {
+        let s = parse("fn f(x) { ??a in [-5, -1] + x }");
+        assert_eq!(
+            s.holes()[0].bounds,
+            Some((Rat::from_int(-5), Rat::from_int(-1)))
+        );
+    }
+
+    #[test]
+    fn inverted_hole_range_rejected() {
+        assert!(parse_sketch("fn f(x) { ??a in [2, 1] }").is_err());
+    }
+
+    #[test]
+    fn precedence() {
+        use crate::ast::Expr;
+        let s = parse("fn f(x, y) { x + y * 2 }");
+        match s.body() {
+            Expr::Add(_, rhs) => assert!(matches!(**rhs, Expr::Mul(_, _))),
+            other => panic!("wrong tree: {other:?}"),
+        }
+        let s2 = parse("fn f(x, y) { (x + y) * 2 }");
+        assert!(matches!(s2.body(), Expr::Mul(_, _)));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let s = parse("fn f(x) { -x * 2 }");
+        // -x * 2 parses as (-x) * 2
+        assert!(matches!(s.body(), crate::ast::Expr::Mul(_, _)));
+    }
+
+    #[test]
+    fn min_max_calls() {
+        let s = parse("fn f(x, y) { min(x, max(y, 3)) }");
+        assert!(matches!(s.body(), crate::ast::Expr::Min(_, _)));
+    }
+
+    #[test]
+    fn boolean_grouping_and_not() {
+        let s = parse("fn f(x, y) { if !(x > 1 || y > 2) && x >= 0 then 1 else 0 }");
+        assert_eq!(s.params().len(), 2);
+    }
+
+    #[test]
+    fn nested_if() {
+        let s = parse(
+            "fn f(x) { if x > 2 then if x > 5 then 2 else 1 else 0 }",
+        );
+        assert!(matches!(s.body(), crate::ast::Expr::If(_, _, _)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_sketch("fn f() { 1 }").is_err(), "empty params");
+        assert!(parse_sketch("fn f(x, x) { x }").is_err(), "dup params");
+        assert!(parse_sketch("fn f(x) { y }").is_err(), "unknown ident");
+        assert!(parse_sketch("fn f(x) { x + }").is_err(), "dangling op");
+        assert!(parse_sketch("fn f(x) { x } trailing").is_err(), "trailing");
+        assert!(parse_sketch("fn f(x) { if x then 1 else 0 }").is_err(), "non-bool cond");
+        assert!(parse_sketch("f(x) { x }").is_err(), "missing fn");
+    }
+
+    #[test]
+    fn decimal_literals_exact() {
+        let s = parse("fn f(x) { x * 0.25 }");
+        match s.body() {
+            crate::ast::Expr::Mul(_, rhs) => match &**rhs {
+                crate::ast::Expr::Num(r) => assert_eq!(*r, Rat::from_frac(1, 4)),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

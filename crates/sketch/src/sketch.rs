@@ -1,0 +1,474 @@
+//! The public sketch API: evaluation, completion and lowering.
+
+use crate::ast::{BExpr, CmpKind, Expr, HoleDecl};
+use crate::parser::{parse_sketch, ParseError};
+use cso_logic::{CmpOp, Formula, Term};
+use cso_numeric::Rat;
+use std::cmp::Ordering;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors raised when evaluating a sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// Wrong number of arguments.
+    ArityMismatch {
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// Wrong number of hole values.
+    HoleCountMismatch {
+        /// Expected count.
+        expected: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// A hole value violates its declared range.
+    HoleOutOfRange {
+        /// Hole name.
+        name: String,
+    },
+    /// Division by zero during evaluation.
+    DivByZero,
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} arguments, got {got}")
+            }
+            SketchError::HoleCountMismatch { expected, got } => {
+                write!(f, "expected {expected} hole values, got {got}")
+            }
+            SketchError::HoleOutOfRange { name } => {
+                write!(f, "value for hole `{name}` is outside its declared range")
+            }
+            SketchError::DivByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// A parsed objective-function sketch: parameters, holes and a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sketch {
+    name: String,
+    params: Vec<String>,
+    holes: Vec<HoleDecl>,
+    body: Expr,
+}
+
+impl Sketch {
+    /// Parse sketch source text.
+    ///
+    /// # Errors
+    /// Returns [`ParseError`] on malformed input.
+    pub fn parse(src: &str) -> Result<Sketch, ParseError> {
+        parse_sketch(src)
+    }
+
+    pub(crate) fn from_parts(
+        name: String,
+        params: Vec<String>,
+        holes: Vec<HoleDecl>,
+        body: Expr,
+    ) -> Sketch {
+        Sketch { name, params, holes, body }
+    }
+
+    /// The sketch's function name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter names (the metrics the objective scores).
+    #[must_use]
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Declared holes in declaration order.
+    #[must_use]
+    pub fn holes(&self) -> &[HoleDecl] {
+        &self.holes
+    }
+
+    /// The body expression.
+    #[must_use]
+    pub fn body(&self) -> &Expr {
+        &self.body
+    }
+
+    /// Evaluate with explicit hole values and arguments.
+    ///
+    /// # Errors
+    /// Returns [`SketchError`] on arity mismatch or division by zero.
+    pub fn eval(&self, hole_values: &[Rat], args: &[Rat]) -> Result<Rat, SketchError> {
+        if args.len() != self.params.len() {
+            return Err(SketchError::ArityMismatch {
+                expected: self.params.len(),
+                got: args.len(),
+            });
+        }
+        if hole_values.len() != self.holes.len() {
+            return Err(SketchError::HoleCountMismatch {
+                expected: self.holes.len(),
+                got: hole_values.len(),
+            });
+        }
+        eval_expr(&self.body, hole_values, args)
+    }
+
+    /// Freeze hole values into a concrete objective function, validating
+    /// hole count and declared ranges.
+    ///
+    /// # Errors
+    /// Returns [`SketchError::HoleCountMismatch`] or
+    /// [`SketchError::HoleOutOfRange`].
+    pub fn complete(&self, hole_values: Vec<Rat>) -> Result<CompletedObjective, SketchError> {
+        if hole_values.len() != self.holes.len() {
+            return Err(SketchError::HoleCountMismatch {
+                expected: self.holes.len(),
+                got: hole_values.len(),
+            });
+        }
+        for (decl, v) in self.holes.iter().zip(&hole_values) {
+            if let Some((lo, hi)) = &decl.bounds {
+                if v < lo || v > hi {
+                    return Err(SketchError::HoleOutOfRange { name: decl.name.clone() });
+                }
+            }
+        }
+        Ok(CompletedObjective { sketch: Rc::new(self.clone()), hole_values })
+    }
+
+    /// Lower the sketch body to a `cso-logic` term, mapping hole `i` to
+    /// `hole_terms[i]` and parameter `i` to `arg_terms[i]`.
+    ///
+    /// Passing solver variables as `hole_terms` yields the symbolic template
+    /// used in synthesis queries; passing constants yields a ground
+    /// objective expression.
+    ///
+    /// # Panics
+    /// Panics if the slices are shorter than the hole/parameter lists.
+    #[must_use]
+    pub fn lower(&self, hole_terms: &[Term], arg_terms: &[Term]) -> Term {
+        assert!(hole_terms.len() >= self.holes.len(), "missing hole terms");
+        assert!(arg_terms.len() >= self.params.len(), "missing arg terms");
+        lower_expr(&self.body, hole_terms, arg_terms)
+    }
+}
+
+impl fmt::Display for Sketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}({}) {{ ... }} with holes [", self.name, self.params.join(", "))?;
+        for (i, h) in self.holes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", h.name)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A sketch with all holes filled: a concrete objective function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedObjective {
+    sketch: Rc<Sketch>,
+    hole_values: Vec<Rat>,
+}
+
+impl CompletedObjective {
+    /// The underlying sketch.
+    #[must_use]
+    pub fn sketch(&self) -> &Sketch {
+        &self.sketch
+    }
+
+    /// The hole values in declaration order.
+    #[must_use]
+    pub fn hole_values(&self) -> &[Rat] {
+        &self.hole_values
+    }
+
+    /// Value of a named hole.
+    #[must_use]
+    pub fn hole(&self, name: &str) -> Option<&Rat> {
+        let i = self.sketch.holes.iter().position(|h| h.name == name)?;
+        Some(&self.hole_values[i])
+    }
+
+    /// Score a metric vector.
+    ///
+    /// # Errors
+    /// Returns [`SketchError`] on arity mismatch or division by zero.
+    pub fn eval(&self, args: &[Rat]) -> Result<Rat, SketchError> {
+        self.sketch.eval(&self.hole_values, args)
+    }
+
+    /// Compare two metric vectors under this objective (higher is better).
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn compare(&self, a: &[Rat], b: &[Rat]) -> Result<Ordering, SketchError> {
+        Ok(self.eval(a)?.cmp(&self.eval(b)?))
+    }
+
+    /// Lower to a ground `cso-logic` term over the given argument terms.
+    #[must_use]
+    pub fn lower(&self, arg_terms: &[Term]) -> Term {
+        let hole_terms: Vec<Term> =
+            self.hole_values.iter().map(|v| Term::constant(v.clone())).collect();
+        self.sketch.lower(&hole_terms, arg_terms)
+    }
+}
+
+impl fmt::Display for CompletedObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.sketch.name())?;
+        write!(f, "{}", self.sketch.params().join(", "))?;
+        write!(f, ") with ")?;
+        for (i, (h, v)) in self.sketch.holes().iter().zip(&self.hole_values).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} = {}", h.name, v)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+fn eval_expr(e: &Expr, holes: &[Rat], args: &[Rat]) -> Result<Rat, SketchError> {
+    match e {
+        Expr::Num(r) => Ok(r.clone()),
+        Expr::Param(i) => Ok(args[*i].clone()),
+        Expr::Hole(i) => Ok(holes[*i].clone()),
+        Expr::Neg(a) => Ok(-eval_expr(a, holes, args)?),
+        Expr::Add(a, b) => Ok(eval_expr(a, holes, args)? + eval_expr(b, holes, args)?),
+        Expr::Sub(a, b) => Ok(eval_expr(a, holes, args)? - eval_expr(b, holes, args)?),
+        Expr::Mul(a, b) => Ok(eval_expr(a, holes, args)? * eval_expr(b, holes, args)?),
+        Expr::Div(a, b) => {
+            let d = eval_expr(b, holes, args)?;
+            if d.is_zero() {
+                return Err(SketchError::DivByZero);
+            }
+            Ok(eval_expr(a, holes, args)? / d)
+        }
+        Expr::Min(a, b) => Ok(eval_expr(a, holes, args)?.min(eval_expr(b, holes, args)?)),
+        Expr::Max(a, b) => Ok(eval_expr(a, holes, args)?.max(eval_expr(b, holes, args)?)),
+        Expr::If(c, a, b) => {
+            if eval_bexpr(c, holes, args)? {
+                eval_expr(a, holes, args)
+            } else {
+                eval_expr(b, holes, args)
+            }
+        }
+    }
+}
+
+fn eval_bexpr(e: &BExpr, holes: &[Rat], args: &[Rat]) -> Result<bool, SketchError> {
+    match e {
+        BExpr::Cmp(op, a, b) => {
+            let x = eval_expr(a, holes, args)?;
+            let y = eval_expr(b, holes, args)?;
+            Ok(match op {
+                CmpKind::Lt => x < y,
+                CmpKind::Le => x <= y,
+                CmpKind::Gt => x > y,
+                CmpKind::Ge => x >= y,
+                CmpKind::Eq => x == y,
+                CmpKind::Ne => x != y,
+            })
+        }
+        BExpr::And(a, b) => Ok(eval_bexpr(a, holes, args)? && eval_bexpr(b, holes, args)?),
+        BExpr::Or(a, b) => Ok(eval_bexpr(a, holes, args)? || eval_bexpr(b, holes, args)?),
+        BExpr::Not(a) => Ok(!eval_bexpr(a, holes, args)?),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering to cso-logic
+// ---------------------------------------------------------------------------
+
+fn lower_expr(e: &Expr, holes: &[Term], args: &[Term]) -> Term {
+    match e {
+        Expr::Num(r) => Term::constant(r.clone()),
+        Expr::Param(i) => args[*i].clone(),
+        Expr::Hole(i) => holes[*i].clone(),
+        Expr::Neg(a) => lower_expr(a, holes, args).neg(),
+        Expr::Add(a, b) => lower_expr(a, holes, args).add(lower_expr(b, holes, args)),
+        Expr::Sub(a, b) => lower_expr(a, holes, args).sub(lower_expr(b, holes, args)),
+        Expr::Mul(a, b) => lower_expr(a, holes, args).mul(lower_expr(b, holes, args)),
+        Expr::Div(a, b) => lower_expr(a, holes, args).div(lower_expr(b, holes, args)),
+        Expr::Min(a, b) => lower_expr(a, holes, args).min(lower_expr(b, holes, args)),
+        Expr::Max(a, b) => lower_expr(a, holes, args).max(lower_expr(b, holes, args)),
+        Expr::If(c, a, b) => Term::ite(
+            lower_bexpr(c, holes, args),
+            lower_expr(a, holes, args),
+            lower_expr(b, holes, args),
+        ),
+    }
+}
+
+fn lower_bexpr(e: &BExpr, holes: &[Term], args: &[Term]) -> Formula {
+    match e {
+        BExpr::Cmp(op, a, b) => {
+            let x = lower_expr(a, holes, args);
+            let y = lower_expr(b, holes, args);
+            let op = match op {
+                CmpKind::Lt => CmpOp::Lt,
+                CmpKind::Le => CmpOp::Le,
+                CmpKind::Gt => CmpOp::Gt,
+                CmpKind::Ge => CmpOp::Ge,
+                CmpKind::Eq => CmpOp::Eq,
+                CmpKind::Ne => CmpOp::Ne,
+            };
+            Formula::cmp(op, x, y)
+        }
+        BExpr::And(a, b) => {
+            Formula::and(vec![lower_bexpr(a, holes, args), lower_bexpr(b, holes, args)])
+        }
+        BExpr::Or(a, b) => {
+            Formula::or(vec![lower_bexpr(a, holes, args), lower_bexpr(b, holes, args)])
+        }
+        BExpr::Not(a) => Formula::not(lower_bexpr(a, holes, args)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_logic::eval::eval_term;
+    use cso_logic::{BoxDomain, VarRegistry};
+    use cso_numeric::Interval;
+
+    fn swan_src() -> &'static str {
+        "fn objective(throughput, latency) {
+            if throughput >= ??tp_thrsh in [0, 10] && latency <= ??l_thrsh in [0, 200] then
+                throughput - ??slope1 in [0, 10] * throughput * latency + 1000
+            else
+                throughput - ??slope2 in [0, 10] * throughput * latency
+        }"
+    }
+
+    fn r(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+
+    #[test]
+    fn eval_swan_target() {
+        let s = Sketch::parse(swan_src()).unwrap();
+        let holes = vec![r(1), r(50), r(1), r(5)];
+        // Satisfying region.
+        assert_eq!(s.eval(&holes, &[r(2), r(10)]).unwrap(), r(982));
+        // Unsatisfying region.
+        assert_eq!(s.eval(&holes, &[r(2), r(100)]).unwrap(), r(-998));
+        // Boundary: throughput == tp_thrsh and latency == l_thrsh satisfies.
+        assert_eq!(s.eval(&holes, &[r(1), r(50)]).unwrap(), &(r(1) - r(50)) + &r(1000));
+    }
+
+    #[test]
+    fn arity_checks() {
+        let s = Sketch::parse(swan_src()).unwrap();
+        assert!(matches!(
+            s.eval(&[r(1)], &[r(1), r(2)]),
+            Err(SketchError::HoleCountMismatch { .. })
+        ));
+        assert!(matches!(
+            s.eval(&[r(1), r(50), r(1), r(5)], &[r(1)]),
+            Err(SketchError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn complete_validates_ranges() {
+        let s = Sketch::parse(swan_src()).unwrap();
+        assert!(s.complete(vec![r(1), r(50), r(1), r(5)]).is_ok());
+        let err = s.complete(vec![r(1), r(500), r(1), r(5)]).unwrap_err();
+        assert!(matches!(err, SketchError::HoleOutOfRange { ref name } if name == "l_thrsh"));
+        assert!(matches!(
+            s.complete(vec![r(1)]),
+            Err(SketchError::HoleCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn completed_objective_api() {
+        let s = Sketch::parse(swan_src()).unwrap();
+        let f = s.complete(vec![r(1), r(50), r(1), r(5)]).unwrap();
+        assert_eq!(f.hole("slope2"), Some(&r(5)));
+        assert_eq!(f.hole("nope"), None);
+        // (2, 10) is preferred over (2, 100).
+        assert_eq!(f.compare(&[r(2), r(10)], &[r(2), r(100)]).unwrap(), Ordering::Greater);
+        let shown = f.to_string();
+        assert!(shown.contains("tp_thrsh = 1") && shown.contains("slope2 = 5"), "{shown}");
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let s = Sketch::parse("fn f(x) { 1 / x }").unwrap();
+        assert_eq!(s.eval(&[], &[r(0)]), Err(SketchError::DivByZero));
+        assert_eq!(s.eval(&[], &[r(4)]).unwrap(), Rat::from_frac(1, 4));
+    }
+
+    #[test]
+    fn lowering_matches_eval() {
+        // Lower with constant holes and args, and check the logic-level
+        // evaluation agrees with the sketch-level evaluation.
+        let s = Sketch::parse(swan_src()).unwrap();
+        let holes = vec![r(1), r(50), r(1), r(5)];
+        let mut vars = VarRegistry::new();
+        let t = vars.intern("t");
+        let l = vars.intern("l");
+        let hole_terms: Vec<Term> = holes.iter().map(|h| Term::constant(h.clone())).collect();
+        let arg_terms = vec![Term::var(t), Term::var(l)];
+        let lowered = s.lower(&hole_terms, &arg_terms);
+        for (tv, lv) in [(2i64, 10i64), (2, 100), (0, 0), (10, 200), (1, 50)] {
+            let direct = s.eval(&holes, &[r(tv), r(lv)]).unwrap();
+            let via_logic = eval_term(&lowered, &[r(tv), r(lv)]).unwrap();
+            assert_eq!(direct, via_logic, "mismatch at ({tv}, {lv})");
+        }
+    }
+
+    #[test]
+    fn lowering_with_symbolic_holes() {
+        let s = Sketch::parse("fn f(x) { ??a in [0, 5] * x }").unwrap();
+        let mut vars = VarRegistry::new();
+        let a = vars.intern("hole_a");
+        let x = vars.intern("x");
+        let lowered = s.lower(&[Term::var(a)], &[Term::var(x)]);
+        // The lowered term mentions both variables.
+        let mentioned = lowered.vars();
+        assert!(mentioned.contains(&a) && mentioned.contains(&x));
+        // Interval check over a box is finite.
+        let mut d = BoxDomain::new(&vars);
+        d.set(a, Interval::new(0.0, 5.0));
+        d.set(x, Interval::new(0.0, 2.0));
+        let iv = cso_logic::ieval::ieval_term(&lowered, &d);
+        assert!(iv.lo() >= -0.1 && iv.hi() <= 10.1);
+    }
+
+    #[test]
+    fn min_max_and_not_lowering() {
+        let s = Sketch::parse(
+            "fn f(x, y) { if !(x > y) then min(x, y) else max(x, y) / 2 }",
+        )
+        .unwrap();
+        // x <= y branch: min = x
+        assert_eq!(s.eval(&[], &[r(1), r(3)]).unwrap(), r(1));
+        // x > y branch: max / 2
+        assert_eq!(s.eval(&[], &[r(8), r(3)]).unwrap(), r(4));
+        let lowered = s.lower(&[], &[Term::int(8), Term::int(3)]);
+        assert_eq!(eval_term(&lowered, &[]).unwrap(), r(4));
+    }
+}

@@ -1,0 +1,185 @@
+//! Built-in sketches for the SWAN case study (paper §4) and generalized
+//! variants mentioned in §4.1.
+
+use crate::sketch::{CompletedObjective, Sketch};
+use cso_numeric::Rat;
+
+/// Source text of the Figure 2a sketch, with the hole ranges used in the
+/// evaluation: thresholds range over the metric bounds, slopes over
+/// `[0, 10]`.
+pub const SWAN_SKETCH_SRC: &str = "\
+fn objective(throughput, latency) {
+    if throughput >= ??tp_thrsh in [0, 10] && latency <= ??l_thrsh in [0, 200] then
+        throughput - ??slope1 in [0, 10] * throughput * latency + 1000
+    else
+        throughput - ??slope2 in [0, 10] * throughput * latency
+}";
+
+/// The SWAN sketch of Figure 2a.
+///
+/// Holes in order: `tp_thrsh`, `l_thrsh`, `slope1`, `slope2`.
+#[must_use]
+pub fn swan_sketch() -> Sketch {
+    Sketch::parse(SWAN_SKETCH_SRC).expect("built-in sketch must parse")
+}
+
+/// The ground-truth completion of Figure 2b:
+/// `tp_thrsh = 1, l_thrsh = 50, slope1 = 1, slope2 = 5`.
+#[must_use]
+pub fn swan_target() -> CompletedObjective {
+    swan_target_with(1, 50, 1, 5)
+}
+
+/// A completion of the SWAN sketch with the given hole values (used by the
+/// Figure 3 robustness sweep, which tunes each hole separately).
+///
+/// # Panics
+/// Panics if a value violates the declared hole range.
+#[must_use]
+pub fn swan_target_with(tp_thrsh: i64, l_thrsh: i64, slope1: i64, slope2: i64) -> CompletedObjective {
+    swan_sketch()
+        .complete(vec![
+            Rat::from_int(tp_thrsh),
+            Rat::from_int(l_thrsh),
+            Rat::from_int(slope1),
+            Rat::from_int(slope2),
+        ])
+        .expect("target values within declared ranges")
+}
+
+/// A generalized three-region sketch (§4.1: "it can be generalized to
+/// support multiple regions"): a *great* region (both metrics comfortably
+/// inside), an *acceptable* region, and a *bad* region, each with its own
+/// slope, with decreasing region bonuses.
+#[must_use]
+pub fn multi_region_sketch() -> Sketch {
+    Sketch::parse(
+        "fn objective(throughput, latency) {
+            if throughput >= ??tp_hi in [0, 10] && latency <= ??l_lo in [0, 200] then
+                throughput - ??slope_great in [0, 10] * throughput * latency + 2000
+            else if throughput >= ??tp_lo in [0, 10] && latency <= ??l_hi in [0, 200] then
+                throughput - ??slope_ok in [0, 10] * throughput * latency + 1000
+            else
+                throughput - ??slope_bad in [0, 10] * throughput * latency
+        }",
+    )
+    .expect("built-in sketch must parse")
+}
+
+/// A sketch trading throughput against *both* average latency and a hard
+/// per-flow floor (`min_flow`), for the three-metric variant exercised by
+/// the network-design example.
+#[must_use]
+pub fn three_metric_sketch() -> Sketch {
+    Sketch::parse(
+        "fn objective(throughput, latency, min_flow) {
+            if min_flow >= ??floor in [0, 10] && latency <= ??l_thrsh in [0, 200] then
+                throughput + ??fair_w in [0, 100] * min_flow
+                    - ??slope1 in [0, 10] * throughput * latency + 1000
+            else
+                throughput + ??fair_w * min_flow
+                    - ??slope2 in [0, 10] * throughput * latency
+        }",
+    )
+    .expect("built-in sketch must parse")
+}
+
+/// A linear-combination QoE sketch for the ABR example (§6.2): reward
+/// bitrate, penalize rebuffering and quality switches, with a bonus when
+/// rebuffering stays below a threshold.
+#[must_use]
+pub fn abr_qoe_sketch() -> Sketch {
+    Sketch::parse(
+        "fn qoe(bitrate, rebuffer, switches) {
+            if rebuffer <= ??rb_thrsh in [0, 100] then
+                bitrate - ??rb_w in [0, 100] * rebuffer
+                    - ??sw_w in [0, 10] * switches + 1000
+            else
+                bitrate - ??rb_w * rebuffer - ??sw_w * switches
+        }",
+    )
+    .expect("built-in sketch must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+
+    #[test]
+    fn swan_holes_in_paper_order() {
+        let s = swan_sketch();
+        let names: Vec<_> = s.holes().iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["tp_thrsh", "l_thrsh", "slope1", "slope2"]);
+        assert_eq!(s.params(), ["throughput", "latency"]);
+    }
+
+    #[test]
+    fn target_matches_figure_2b() {
+        let t = swan_target();
+        assert_eq!(t.hole("tp_thrsh"), Some(&r(1)));
+        assert_eq!(t.hole("l_thrsh"), Some(&r(50)));
+        assert_eq!(t.hole("slope1"), Some(&r(1)));
+        assert_eq!(t.hole("slope2"), Some(&r(5)));
+        // Spot values.
+        assert_eq!(t.eval(&[r(2), r(10)]).unwrap(), r(982));
+        assert_eq!(t.eval(&[r(5), r(10)]).unwrap(), r(955));
+        assert_eq!(t.eval(&[r(2), r(100)]).unwrap(), r(-998));
+    }
+
+    #[test]
+    fn target_prefers_satisfying_scenarios() {
+        let t = swan_target();
+        // A satisfying scenario beats an unsatisfying one despite lower
+        // throughput: this is the "bonus" semantics the sketch encodes.
+        let sat = [r(1), r(40)];
+        let unsat = [r(9), r(60)];
+        assert!(t.eval(&sat).unwrap() > t.eval(&unsat).unwrap());
+    }
+
+    #[test]
+    fn figure3_variants_complete() {
+        for v in 1..=5 {
+            let _ = swan_target_with(v, 50, 1, 5);
+            let _ = swan_target_with(1, 50, v, 5);
+            let _ = swan_target_with(1, 50, 1, v);
+        }
+        for l in [20, 35, 50, 65, 80] {
+            let _ = swan_target_with(1, l, 1, 5);
+        }
+    }
+
+    #[test]
+    fn multi_region_ordering() {
+        let s = multi_region_sketch();
+        // tp_hi=5, l_lo=20, slope_great=1, tp_lo=1, l_hi=100, slope_ok=1, slope_bad=5
+        let f = s
+            .complete(vec![r(5), r(20), r(1), r(1), r(100), r(1), r(5)])
+            .unwrap();
+        let great = f.eval(&[r(6), r(10)]).unwrap();
+        let ok = f.eval(&[r(2), r(50)]).unwrap();
+        let bad = f.eval(&[r(2), r(150)]).unwrap();
+        assert!(great > ok && ok > bad);
+    }
+
+    #[test]
+    fn abr_sketch_shape() {
+        let s = abr_qoe_sketch();
+        assert_eq!(s.params(), ["bitrate", "rebuffer", "switches"]);
+        let f = s.complete(vec![r(5), r(10), r(1)]).unwrap();
+        // Low rebuffering earns the bonus.
+        let good = f.eval(&[r(400), r(2), r(3)]).unwrap();
+        let bad = f.eval(&[r(400), r(50), r(3)]).unwrap();
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn three_metric_sketch_shape() {
+        let s = three_metric_sketch();
+        assert_eq!(s.params().len(), 3);
+        assert_eq!(s.holes().len(), 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the sketch DSL: pretty-print/re-parse
+//! round-trips, eval/lower agreement, and parser robustness.
+
+use cso_logic::eval::eval_term;
+use cso_logic::Term;
+use cso_numeric::Rat;
+use cso_sketch::Sketch;
+use proptest::prelude::*;
+
+/// Generate random sketch source text from a tiny grammar with two
+/// parameters `x` and `y` and up to three holes.
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Num(i64),
+    X,
+    Y,
+    Hole(u8),
+    Add(Box<GenExpr>, Box<GenExpr>),
+    Sub(Box<GenExpr>, Box<GenExpr>),
+    Mul(Box<GenExpr>, Box<GenExpr>),
+    Min(Box<GenExpr>, Box<GenExpr>),
+    Max(Box<GenExpr>, Box<GenExpr>),
+    If(Box<GenExpr>, Box<GenExpr>, Box<GenExpr>),
+}
+
+impl GenExpr {
+    fn render(&self) -> String {
+        match self {
+            GenExpr::Num(v) => format!("{v}"),
+            GenExpr::X => "x".into(),
+            GenExpr::Y => "y".into(),
+            GenExpr::Hole(i) => format!("??h{i} in [0, 10]"),
+            GenExpr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            GenExpr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            GenExpr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            GenExpr::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
+            GenExpr::Max(a, b) => format!("max({}, {})", a.render(), b.render()),
+            GenExpr::If(c, a, b) => format!(
+                "(if {} >= 0 then {} else {})",
+                c.render(),
+                a.render(),
+                b.render()
+            ),
+        }
+    }
+
+    fn holes_used(&self, out: &mut Vec<u8>) {
+        match self {
+            GenExpr::Hole(i) => out.push(*i),
+            GenExpr::Add(a, b)
+            | GenExpr::Sub(a, b)
+            | GenExpr::Mul(a, b)
+            | GenExpr::Min(a, b)
+            | GenExpr::Max(a, b) => {
+                a.holes_used(out);
+                b.holes_used(out);
+            }
+            GenExpr::If(c, a, b) => {
+                c.holes_used(out);
+                a.holes_used(out);
+                b.holes_used(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(GenExpr::Num),
+        Just(GenExpr::X),
+        Just(GenExpr::Y),
+        (0u8..3).prop_map(GenExpr::Hole),
+    ];
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Min(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Max(a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| GenExpr::If(c.into(), a.into(), b.into())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_sketches_parse(e in arb_expr()) {
+        let src = format!("fn f(x, y) {{ {} }}", e.render());
+        let sketch = Sketch::parse(&src);
+        prop_assert!(sketch.is_ok(), "failed to parse: {src}\n{:?}", sketch.err());
+        let sketch = sketch.unwrap();
+        let mut used = Vec::new();
+        e.holes_used(&mut used);
+        used.sort_unstable();
+        used.dedup();
+        prop_assert_eq!(sketch.holes().len(), used.len());
+    }
+
+    #[test]
+    fn eval_and_lowering_agree(
+        e in arb_expr(),
+        x in -10i64..10,
+        y in -10i64..10,
+        h in prop::collection::vec(0i64..=10, 3),
+    ) {
+        let src = format!("fn f(x, y) {{ {} }}", e.render());
+        let sketch = Sketch::parse(&src).unwrap();
+        let holes: Vec<Rat> =
+            (0..sketch.holes().len()).map(|i| Rat::from_int(h[i % h.len()])).collect();
+        let args = [Rat::from_int(x), Rat::from_int(y)];
+        let direct = sketch.eval(&holes, &args).expect("division-free");
+        let hole_terms: Vec<Term> =
+            holes.iter().map(|v| Term::constant(v.clone())).collect();
+        let lowered = sketch.lower(
+            &hole_terms,
+            &[Term::constant(args[0].clone()), Term::constant(args[1].clone())],
+        );
+        let via_logic = eval_term(&lowered, &[]).expect("ground term");
+        prop_assert_eq!(direct, via_logic);
+    }
+
+    #[test]
+    fn completion_respects_hole_count(e in arb_expr(), extra in 1usize..4) {
+        let src = format!("fn f(x, y) {{ {} }}", e.render());
+        let sketch = Sketch::parse(&src).unwrap();
+        let wrong = vec![Rat::one(); sketch.holes().len() + extra];
+        prop_assert!(sketch.complete(wrong).is_err());
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutations(
+        e in arb_expr(),
+        cut in 0usize..40,
+    ) {
+        // Truncate valid source at an arbitrary byte (on a char boundary):
+        // the parser must return Err, not panic.
+        let src = format!("fn f(x, y) {{ {} }}", e.render());
+        let cut = cut.min(src.len());
+        let mut truncated = &src[..cut];
+        while !src.is_char_boundary(truncated.len()) {
+            truncated = &truncated[..truncated.len() - 1];
+        }
+        let _ = Sketch::parse(truncated); // must not panic
+    }
+}

@@ -1,0 +1,108 @@
+//! Learning a QoE objective for adaptive-bitrate video (§6.2).
+//!
+//! ABR research combines bitrate, rebuffering and quality switches into
+//! ad-hoc linear QoE formulas. The paper suggests learning the objective
+//! instead: simulate playback scenarios, have the publisher *rank* them,
+//! and synthesize the QoE function. This example:
+//!
+//! 1. simulates four ABR policies across synthetic bandwidth traces;
+//! 2. extracts (bitrate, rebuffer%, switches) QoE scenarios;
+//! 3. learns a QoE objective by comparative synthesis against a hidden
+//!    "viewer model" oracle;
+//! 4. ranks the policies with the learnt objective.
+//!
+//! Run with: `cargo run --release --example video_abr`
+
+use compsynth::abr::policies::{BufferBased, FixedQuality, Hybrid, RateBased};
+use compsynth::abr::{AbrPolicy, BandwidthTrace, Player, QoeMetrics, VideoSpec};
+use compsynth::numeric::Rat;
+use compsynth::sketch::swan::abr_qoe_sketch;
+use compsynth::synth::{GroundTruthOracle, MetricSpace, SynthConfig, Synthesizer};
+
+fn traces() -> Vec<(&'static str, BandwidthTrace)> {
+    vec![
+        ("stable-3M", BandwidthTrace::constant(3000.0, 900)),
+        ("step-down", BandwidthTrace::step(4500.0, 900.0, 60, 900)),
+        ("periodic", BandwidthTrace::periodic(4000.0, 800.0, 30, 900)),
+        ("bursty", BandwidthTrace::bursty(600.0, 5000.0, 900, 42)),
+    ]
+}
+
+fn policies() -> Vec<Box<dyn AbrPolicy>> {
+    vec![
+        Box::new(FixedQuality::new(5)),
+        Box::new(BufferBased::classic()),
+        Box::new(RateBased::new(0.85)),
+        Box::new(Hybrid::new(0.85)),
+    ]
+}
+
+fn main() {
+    println!("=== Learning a QoE objective for ABR streaming ===\n");
+
+    // 1 + 2: simulate policies over traces and collect QoE scenarios.
+    let player = Player::new(VideoSpec::hd(60));
+    let mut results: Vec<(String, QoeMetrics)> = Vec::new();
+    for mut policy in policies() {
+        for (tname, trace) in traces() {
+            let log = player.simulate(policy.as_mut(), &trace);
+            let q = QoeMetrics::of(&log);
+            results.push((format!("{}/{}", policy.name(), tname), q));
+        }
+    }
+    println!("Simulated sessions:");
+    for (label, q) in &results {
+        println!("  {label:<24} {q}");
+    }
+
+    // 3: learn the QoE objective. The hidden viewer model: happy when
+    // rebuffering stays under 2%, values bitrate, dislikes rebuffering 40x
+    // and switches 2x.
+    let sketch = abr_qoe_sketch();
+    let viewer_model = sketch
+        .complete(vec![Rat::from_int(2), Rat::from_int(40), Rat::from_int(2)])
+        .expect("values in hole ranges");
+    println!("\nHidden viewer model: {viewer_model}");
+
+    let space = MetricSpace::new(vec![
+        ("bitrate", Rat::zero(), Rat::from_int(4300)),
+        ("rebuffer", Rat::zero(), Rat::from_int(100)),
+        ("switches", Rat::zero(), Rat::from_int(60)),
+    ]);
+    let mut cfg = SynthConfig::fast_test();
+    cfg.seed = 5;
+    let mut synth =
+        Synthesizer::new(sketch, space, cfg).expect("sketch matches QoE metric space");
+    let mut oracle = GroundTruthOracle::new(viewer_model.clone());
+    let result = synth.run(&mut oracle).expect("consistent oracle");
+    println!(
+        "Learnt QoE objective: {} ({} interactions, {:.1} s)",
+        result.objective,
+        result.stats.iterations(),
+        result.stats.total_secs()
+    );
+
+    // 4: rank policies by average learnt-QoE across traces.
+    println!("\nPolicy ranking under the learnt objective:");
+    let mut scores: Vec<(String, f64)> = Vec::new();
+    for mut policy in policies() {
+        let mut total = 0.0;
+        let mut count = 0;
+        for (_, trace) in traces() {
+            let log = player.simulate(policy.as_mut(), &trace);
+            let q = QoeMetrics::of(&log);
+            let v = result
+                .objective
+                .eval(&q.sketch_triple())
+                .expect("metrics in range");
+            total += v.to_f64();
+            count += 1;
+        }
+        scores.push((policy.name().to_owned(), total / f64::from(count)));
+    }
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    for (rank, (name, score)) in scores.iter().enumerate() {
+        println!("  {}. {:<14} mean QoE = {:.1}", rank + 1, name, score);
+    }
+    println!("\nThe publisher never wrote a QoE formula — only rankings.");
+}

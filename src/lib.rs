@@ -1,0 +1,16 @@
+//! Facade crate for the comparative-synthesis workspace.
+//!
+//! Re-exports every subsystem under one roof so examples and downstream users
+//! can depend on a single crate. See the README for an architecture overview
+//! and `DESIGN.md` for the paper-to-module map.
+
+#![forbid(unsafe_code)]
+
+pub use cso_abr as abr;
+pub use cso_logic as logic;
+pub use cso_lp as lp;
+pub use cso_netsim as netsim;
+pub use cso_numeric as numeric;
+pub use cso_prefgraph as prefgraph;
+pub use cso_sketch as sketch;
+pub use cso_synth as synth;

@@ -1,0 +1,99 @@
+//! Integration test for the §6.2 ABR pipeline: simulator → QoE scenarios →
+//! comparative synthesis → policy ranking.
+
+use compsynth::abr::policies::{FixedQuality, Hybrid, RateBased};
+use compsynth::abr::{AbrPolicy, BandwidthTrace, Player, QoeMetrics, VideoSpec};
+use compsynth::numeric::Rat;
+use compsynth::sketch::swan::abr_qoe_sketch;
+use compsynth::synth::{GroundTruthOracle, MetricSpace, SynthConfig, Synthesizer};
+
+fn qoe_space() -> MetricSpace {
+    MetricSpace::new(vec![
+        ("bitrate", Rat::zero(), Rat::from_int(4300)),
+        ("rebuffer", Rat::zero(), Rat::from_int(100)),
+        ("switches", Rat::zero(), Rat::from_int(60)),
+    ])
+}
+
+#[test]
+fn learnt_qoe_ranks_policies_like_the_viewer_model() {
+    let sketch = abr_qoe_sketch();
+    let viewer = sketch
+        .complete(vec![Rat::from_int(2), Rat::from_int(40), Rat::from_int(2)])
+        .unwrap();
+
+    let mut cfg = SynthConfig::fast_test();
+    cfg.seed = 31;
+    cfg.max_iterations = 40;
+    let mut synth = Synthesizer::new(sketch, qoe_space(), cfg).unwrap();
+    let mut oracle = GroundTruthOracle::new(viewer.clone());
+    let result = synth.run(&mut oracle).expect("consistent oracle");
+
+    // Score three policies on a variable link under both objectives.
+    let player = Player::new(VideoSpec::hd(40));
+    let trace = BandwidthTrace::periodic(4000.0, 800.0, 24, 600);
+    let mut policies: Vec<Box<dyn AbrPolicy>> = vec![
+        Box::new(FixedQuality::new(5)),
+        Box::new(RateBased::new(0.85)),
+        Box::new(Hybrid::new(0.85)),
+    ];
+    let mut learnt_scores = Vec::new();
+    let mut viewer_scores = Vec::new();
+    for p in policies.iter_mut() {
+        let q = QoeMetrics::of(&player.simulate(p.as_mut(), &trace));
+        let triple = q.sketch_triple();
+        learnt_scores.push(result.objective.eval(&triple).unwrap());
+        viewer_scores.push(viewer.eval(&triple).unwrap());
+    }
+
+    // Fixed-top must actually stall on this link (player-level sanity).
+    let q_fixed = QoeMetrics::of(
+        &player.simulate(&mut FixedQuality::new(5), &trace),
+    );
+    assert!(q_fixed.rebuffer_pct > 5.0, "fixed-top should rebuffer, got {}", q_fixed.rebuffer_pct);
+
+    // The learnt objective must agree with the viewer model on the policy
+    // ranking extremes (best and worst), whatever they are.
+    let argmin = |v: &[cso_numeric::Rat]| {
+        v.iter().enumerate().min_by(|a, b| a.1.cmp(b.1)).map(|(i, _)| i).unwrap()
+    };
+    let argmax = |v: &[cso_numeric::Rat]| {
+        v.iter().enumerate().max_by(|a, b| a.1.cmp(b.1)).map(|(i, _)| i).unwrap()
+    };
+    assert_eq!(
+        argmin(&learnt_scores),
+        argmin(&viewer_scores),
+        "learnt objective must agree on the worst policy: learnt {learnt_scores:?} viewer {viewer_scores:?}"
+    );
+    assert_eq!(
+        argmax(&learnt_scores),
+        argmax(&viewer_scores),
+        "learnt objective must agree on the best policy: learnt {learnt_scores:?} viewer {viewer_scores:?}"
+    );
+}
+
+#[test]
+fn qoe_scenarios_are_in_the_metric_space() {
+    // Every simulated session must produce metrics inside the declared
+    // ClosedInRange bounds — otherwise the synthesis queries would be
+    // ill-posed.
+    let space = qoe_space();
+    let player = Player::new(VideoSpec::hd(30));
+    let traces = [
+        BandwidthTrace::constant(2500.0, 600),
+        BandwidthTrace::step(4500.0, 700.0, 40, 600),
+        BandwidthTrace::bursty(500.0, 5000.0, 600, 11),
+    ];
+    for trace in &traces {
+        for q_fixed in [0usize, 3, 5] {
+            let log = player.simulate(&mut FixedQuality::new(q_fixed), trace);
+            let q = QoeMetrics::of(&log);
+            let triple = q.sketch_triple();
+            let scenario = compsynth::synth::Scenario::new(triple.to_vec());
+            assert!(
+                space.contains(&scenario),
+                "metrics {scenario} escape the declared bounds"
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the full pipeline from sketch text to a
+//! learnt objective driving a network design choice.
+
+use compsynth::netsim::alloc::Instance;
+use compsynth::netsim::scenario_gen::{design_portfolio, pick_best};
+use compsynth::netsim::{FlowSpec, Topology, TrafficClass};
+use compsynth::numeric::Rat;
+use compsynth::sketch::swan::{swan_sketch, swan_target, swan_target_with};
+use compsynth::sketch::Sketch;
+use compsynth::synth::verify::preference_agreement;
+use compsynth::synth::{
+    GroundTruthOracle, LoggingOracle, MetricSpace, SynthConfig, SynthOutcome, Synthesizer,
+};
+
+fn fast(seed: u64) -> SynthConfig {
+    let mut cfg = SynthConfig::fast_test();
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn sketch_text_to_learnt_objective() {
+    // Parse the sketch from source text (not the built-in constructor),
+    // synthesize against the Figure 2b target, check the learnt objective
+    // ranks a set of hand-picked scenario pairs like the target.
+    let src = "fn objective(throughput, latency) {
+        if throughput >= ??tp_thrsh in [0, 10] && latency <= ??l_thrsh in [0, 200] then
+            throughput - ??slope1 in [0, 10] * throughput * latency + 1000
+        else
+            throughput - ??slope2 in [0, 10] * throughput * latency
+    }";
+    let sketch = Sketch::parse(src).expect("well-formed sketch");
+    let mut synth = Synthesizer::new(sketch, MetricSpace::swan(), fast(41)).unwrap();
+    let target = swan_target();
+    let mut oracle = LoggingOracle::new(GroundTruthOracle::new(target.clone()));
+    let result = synth.run(&mut oracle).expect("consistent oracle");
+
+    assert!(oracle.interactions > 0);
+    let pairs: [(i64, i64, i64, i64); 4] = [
+        (2, 10, 2, 100),  // satisfying beats unsatisfying
+        (5, 10, 2, 10),   // higher throughput wins inside the region
+        (2, 60, 2, 190),  // lower latency wins outside the region
+        (1, 40, 9, 150),  // bonus dominates raw throughput
+    ];
+    for (t1, l1, t2, l2) in pairs {
+        let a = [Rat::from_int(t1), Rat::from_int(l1)];
+        let b = [Rat::from_int(t2), Rat::from_int(l2)];
+        let want = target.compare(&a, &b).unwrap();
+        let got = result.objective.compare(&a, &b).unwrap();
+        assert_eq!(got, want, "disagrees with target on ({t1},{l1}) vs ({t2},{l2})");
+    }
+}
+
+#[test]
+fn learnt_objective_picks_sensible_design() {
+    // Learn an objective, then use it to choose among real allocations on
+    // the two-path network; the pick must match the hidden intent's pick.
+    let topo = Topology::two_path();
+    let s = topo.node("src").unwrap();
+    let d = topo.node("dst").unwrap();
+    let flows = vec![
+        FlowSpec::new(s, d, Rat::from_int(8), TrafficClass::Interactive),
+        FlowSpec::new(s, d, Rat::from_int(8), TrafficClass::Elastic),
+    ];
+    let inst = Instance::build(topo, flows, 3);
+    let designs = design_portfolio(&inst).expect("feasible instance");
+
+    // A latency-hating intent: satisfied below 30 ms.
+    let intent = swan_target_with(1, 30, 1, 5);
+    let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast(17)).unwrap();
+    let mut oracle = GroundTruthOracle::new(intent.clone());
+    let result = synth.run(&mut oracle).expect("consistent oracle");
+
+    let learnt_pick = pick_best(&designs, |m| {
+        result.objective.eval(&m.swan_pair()).expect("in range")
+    })
+    .unwrap();
+    let intent_pick =
+        pick_best(&designs, |m| intent.eval(&m.swan_pair()).expect("in range")).unwrap();
+    assert_eq!(
+        learnt_pick.metrics, intent_pick.metrics,
+        "learnt objective must choose a design with the same metrics"
+    );
+    // And the intent being latency-averse, the chosen design must use the
+    // 10 ms path only.
+    assert_eq!(learnt_pick.metrics.avg_latency, Rat::from_int(10));
+}
+
+#[test]
+fn convergence_quality_across_seeds() {
+    // Several seeds, one target: every run converges and agrees with the
+    // target on well-separated pairs.
+    for seed in [3u64, 9, 27] {
+        let mut synth =
+            Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast(seed)).unwrap();
+        let mut oracle = GroundTruthOracle::new(swan_target());
+        let result = synth.run(&mut oracle).expect("consistent oracle");
+        assert!(
+            matches!(
+                result.outcome,
+                SynthOutcome::Converged | SynthOutcome::ConvergedBudget
+            ),
+            "seed {seed}: {:?}",
+            result.outcome
+        );
+        let agreement = preference_agreement(
+            &result.objective,
+            &swan_target(),
+            &MetricSpace::swan(),
+            300,
+            seed,
+            &Rat::from_int(25),
+        );
+        assert!(agreement > 0.9, "seed {seed}: agreement {agreement}");
+    }
+}
+
+#[test]
+fn three_metric_space_pipeline() {
+    // The three-metric sketch over (throughput, latency, min_flow) learns
+    // from comparisons in a 3-d metric space.
+    let sketch = compsynth::sketch::swan::three_metric_sketch();
+    let target = sketch
+        .complete(vec![
+            Rat::from_int(1),
+            Rat::from_int(50),
+            Rat::from_int(20),
+            Rat::from_int(1),
+            Rat::from_int(4),
+        ])
+        .unwrap();
+    let space = MetricSpace::new(vec![
+        ("throughput", Rat::zero(), Rat::from_int(10)),
+        ("latency", Rat::zero(), Rat::from_int(200)),
+        ("min_flow", Rat::zero(), Rat::from_int(10)),
+    ]);
+    let mut cfg = fast(13);
+    cfg.max_iterations = 40;
+    let mut synth = Synthesizer::new(sketch, space.clone(), cfg).unwrap();
+    let mut oracle = GroundTruthOracle::new(target.clone());
+    let result = synth.run(&mut oracle).expect("consistent oracle");
+    let agreement =
+        preference_agreement(&result.objective, &target, &space, 300, 5, &Rat::from_int(30));
+    assert!(agreement > 0.8, "3-metric agreement {agreement}");
+}

@@ -1,0 +1,125 @@
+//! Cross-substrate consistency checks: the logic layer, the sketch layer
+//! and the LP layer must agree wherever their semantics overlap.
+
+use compsynth::logic::eval::eval_term;
+use compsynth::logic::solver::{Outcome, Solver, SolverConfig};
+use compsynth::logic::{BoxDomain, Term, VarRegistry};
+use compsynth::lp::{LpOutcome, LpProblem};
+use compsynth::netsim::alloc::{Allocator, Instance};
+use compsynth::netsim::{DesignMetrics, FlowSpec, Topology, TrafficClass};
+use compsynth::numeric::{Interval, Rat};
+use compsynth::sketch::swan::swan_target;
+
+#[test]
+fn sketch_eval_matches_logic_eval_on_grid() {
+    // CompletedObjective::eval and the lowered logic term must agree on a
+    // grid of scenarios — two independent evaluators of the same function.
+    let target = swan_target();
+    let mut vars = VarRegistry::new();
+    let t = vars.intern("t");
+    let l = vars.intern("l");
+    let lowered = target.lower(&[Term::var(t), Term::var(l)]);
+    for ti in 0..=10 {
+        for li in (0..=200).step_by(20) {
+            let env = [Rat::from_int(ti), Rat::from_int(li)];
+            let direct = target.eval(&env).unwrap();
+            let via_term = eval_term(&lowered, &env).unwrap();
+            assert_eq!(direct, via_term, "disagreement at ({ti}, {li})");
+        }
+    }
+}
+
+#[test]
+fn solver_finds_lp_optimum_region() {
+    // For a linear objective, the δ-solver must find points achieving
+    // close to the LP optimum: max x + y s.t. x + 2y <= 4, 3x + y <= 6
+    // has optimum 14/5 = 2.8.
+    let mut lp = LpProblem::maximize(2);
+    lp.set_objective_coeff(0, Rat::one());
+    lp.set_objective_coeff(1, Rat::one());
+    lp.add_le(vec![(0, Rat::one()), (1, Rat::from_int(2))], Rat::from_int(4));
+    lp.add_le(vec![(0, Rat::from_int(3)), (1, Rat::one())], Rat::from_int(6));
+    let opt = match lp.solve() {
+        LpOutcome::Optimal(s) => s.objective,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(opt, Rat::from_frac(14, 5));
+
+    // Ask the logic solver for a feasible point with objective >= 2.7.
+    let mut vars = VarRegistry::new();
+    let x = vars.intern("x");
+    let y = vars.intern("y");
+    let f = compsynth::logic::Formula::and(vec![
+        Term::var(x).add(Term::int(2).mul(Term::var(y))).le(Term::int(4)),
+        Term::int(3).mul(Term::var(x)).add(Term::var(y)).le(Term::int(6)),
+        Term::var(x)
+            .add(Term::var(y))
+            .ge(Term::constant(Rat::from_frac(27, 10))),
+    ]);
+    let mut dom = BoxDomain::new(&vars);
+    dom.set(x, Interval::new(0.0, 10.0));
+    dom.set(y, Interval::new(0.0, 10.0));
+    let mut solver = Solver::new(SolverConfig::default());
+    match solver.solve(&f, &dom) {
+        Outcome::Sat(m) => {
+            let sum = m.get(x) + m.get(y);
+            assert!(sum >= Rat::from_frac(27, 10));
+            assert!(sum <= opt, "cannot beat the exact LP optimum");
+        }
+        other => panic!("solver should reach near the LP optimum, got {other:?}"),
+    }
+
+    // And a demand beyond the optimum must be refuted.
+    let g = compsynth::logic::Formula::and(vec![
+        Term::var(x).add(Term::int(2).mul(Term::var(y))).le(Term::int(4)),
+        Term::int(3).mul(Term::var(x)).add(Term::var(y)).le(Term::int(6)),
+        Term::var(x)
+            .add(Term::var(y))
+            .ge(Term::constant(Rat::from_frac(29, 10))),
+    ]);
+    let out = solver.solve(&g, &dom);
+    assert!(out.is_unsat_like(), "2.9 exceeds the optimum 2.8, got {out:?}");
+}
+
+#[test]
+fn objective_values_of_real_allocations_are_scoreable() {
+    // Metrics of every allocator on the WAN must be inside the SWAN metric
+    // space after scaling, so learnt objectives can score real designs.
+    let topo = Topology::two_path();
+    let s = topo.node("src").unwrap();
+    let d = topo.node("dst").unwrap();
+    let flows = vec![
+        FlowSpec::new(s, d, Rat::from_int(5), TrafficClass::Interactive),
+        FlowSpec::new(s, d, Rat::from_int(5), TrafficClass::Elastic),
+    ];
+    let inst = Instance::build(topo, flows, 3);
+    let target = swan_target();
+    for alloc in [
+        Allocator::MaxThroughput,
+        Allocator::MaxMinFair,
+        Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 100) },
+    ] {
+        let a = alloc.allocate(&inst).unwrap();
+        let m = DesignMetrics::of(&inst, &a);
+        let score = target.eval(&m.swan_pair());
+        assert!(score.is_ok(), "{alloc:?} metrics must be scoreable");
+    }
+}
+
+#[test]
+fn exactness_round_trip_through_all_layers() {
+    // A rational computed by the LP, pushed through a sketch objective,
+    // re-checked by the logic evaluator, must stay bit-identical.
+    let mut lp = LpProblem::maximize(1);
+    lp.set_objective_coeff(0, Rat::one());
+    lp.add_le(vec![(0, Rat::from_int(3))], Rat::from_int(7));
+    let v = match lp.solve() {
+        LpOutcome::Optimal(s) => s.values[0].clone(), // 7/3
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(v, Rat::from_frac(7, 3));
+    let target = swan_target();
+    let direct = target.eval(&[v.clone(), Rat::from_int(10)]).unwrap();
+    // 7/3 >= 1 and 10 <= 50: f = t - 1*t*10 + 1000 = 1000 - 9t = 1000 - 21
+    assert_eq!(direct, Rat::from_int(979));
+}
