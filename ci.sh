@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate for the compsynth workspace. Everything runs --offline: the
+# workspace has zero external dependencies (see DESIGN.md §3), so a cold
+# target directory and an empty registry cache must both work.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lint"
+fi
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "CI green."

@@ -111,9 +111,7 @@ impl Player {
         let mut last_throughput = None::<f64>;
 
         for _ in 0..self.spec.n_chunks {
-            let q = policy
-                .choose(&self.spec, buffer, last_throughput)
-                .min(self.spec.levels() - 1);
+            let q = policy.choose(&self.spec, buffer, last_throughput).min(self.spec.levels() - 1);
             let kbits = self.spec.chunk_kbits(q);
             let dt = trace.download_time(now, kbits);
             last_throughput = Some(kbits / dt.max(1e-9));
@@ -139,7 +137,12 @@ impl Player {
                 now += idle;
                 buffer = self.spec.max_buffer;
             }
-            chunks.push(ChunkRecord { quality: q, download_time: dt, rebuffer, buffer_after: buffer });
+            chunks.push(ChunkRecord {
+                quality: q,
+                download_time: dt,
+                rebuffer,
+                buffer_after: buffer,
+            });
         }
 
         PlaybackLog { startup, chunks, spec: self.spec.clone() }

@@ -217,7 +217,7 @@ mod tests {
         let q_high = p3.choose(&s, 28.0, Some(5000.0));
         assert!(q_low < q_mid, "low buffer demotes");
         assert!(q_high >= q_mid, "high buffer promotes");
-        assert!(q_high <= s.levels() - 1);
+        assert!(q_high < s.levels());
     }
 
     #[test]

@@ -24,12 +24,8 @@ impl QoeMetrics {
     #[must_use]
     pub fn of(log: &PlaybackLog) -> QoeMetrics {
         let n = log.chunks.len().max(1) as f64;
-        let avg_bitrate = log
-            .chunks
-            .iter()
-            .map(|c| log.spec.bitrates_kbps[c.quality])
-            .sum::<f64>()
-            / n;
+        let avg_bitrate =
+            log.chunks.iter().map(|c| log.spec.bitrates_kbps[c.quality]).sum::<f64>() / n;
         let stall: f64 = log.chunks.iter().map(|c| c.rebuffer).sum();
         let play = log.spec.chunk_seconds * log.chunks.len() as f64;
         let rebuffer_pct = if play + stall > 0.0 { 100.0 * stall / (play + stall) } else { 0.0 };
@@ -50,11 +46,7 @@ impl QoeMetrics {
     #[must_use]
     pub fn sketch_triple(&self) -> [Rat; 3] {
         let snap = |x: f64| Rat::from_frac((x * 1000.0).round() as i64, 1000);
-        [
-            snap(self.avg_bitrate),
-            snap(self.rebuffer_pct),
-            Rat::from_int(self.switches as i64),
-        ]
+        [snap(self.avg_bitrate), snap(self.rebuffer_pct), Rat::from_int(self.switches as i64)]
     }
 }
 

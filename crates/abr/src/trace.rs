@@ -5,8 +5,7 @@
 //! player dynamics: stable links, stepwise drops, periodic oscillation and
 //! random bursts (documented as a substitution in `DESIGN.md`).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cso_runtime::Rng;
 
 /// A bandwidth trace: available throughput in kbit/s per 1-second slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,10 +21,7 @@ impl BandwidthTrace {
     #[must_use]
     pub fn new(kbps: Vec<f64>) -> BandwidthTrace {
         assert!(!kbps.is_empty(), "trace must be non-empty");
-        assert!(
-            kbps.iter().all(|&b| b.is_finite() && b > 0.0),
-            "trace samples must be positive"
-        );
+        assert!(kbps.iter().all(|&b| b.is_finite() && b > 0.0), "trace samples must be positive");
         BandwidthTrace { kbps }
     }
 
@@ -38,9 +34,7 @@ impl BandwidthTrace {
     /// Step from `hi` down to `lo` at `step_at` seconds.
     #[must_use]
     pub fn step(hi: f64, lo: f64, step_at: usize, seconds: usize) -> BandwidthTrace {
-        let v = (0..seconds.max(1))
-            .map(|t| if t < step_at { hi } else { lo })
-            .collect();
+        let v = (0..seconds.max(1)).map(|t| if t < step_at { hi } else { lo }).collect();
         BandwidthTrace::new(v)
     }
 
@@ -49,7 +43,7 @@ impl BandwidthTrace {
     pub fn periodic(hi: f64, lo: f64, period: usize, seconds: usize) -> BandwidthTrace {
         let p = period.max(2);
         let v = (0..seconds.max(1))
-            .map(|t| if (t / (p / 2)) % 2 == 0 { hi } else { lo })
+            .map(|t| if (t / (p / 2)).is_multiple_of(2) { hi } else { lo })
             .collect();
         BandwidthTrace::new(v)
     }
@@ -58,7 +52,7 @@ impl BandwidthTrace {
     #[must_use]
     pub fn bursty(lo: f64, hi: f64, seconds: usize, seed: u64) -> BandwidthTrace {
         assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut cur = (lo + hi) / 2.0;
         let v = (0..seconds.max(1))
             .map(|_| {

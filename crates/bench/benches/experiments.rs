@@ -1,21 +1,24 @@
-//! Criterion benchmarks regenerating the paper's experiments.
+//! Wall-clock benchmarks regenerating the paper's experiments.
 //!
-//! One benchmark group per table/figure. Criterion's statistics replace
+//! One benchmark group per table/figure. The harness's statistics replace
 //! the paper's 9-run averages for the timing axes; the iteration-count
 //! axes are printed by the `repro` binary (`cargo run -p cso-bench --bin
 //! repro`). Sample counts are kept small because a full synthesis run is
 //! seconds, not microseconds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cso_numeric::Rat;
+use cso_runtime::bench::{BenchmarkGroup, BenchmarkId, Criterion};
 use cso_sketch::swan::{swan_sketch, swan_target_with};
 use cso_synth::{GroundTruthOracle, MetricSpace, SynthConfig, Synthesizer};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn run_once(cfg: SynthConfig, target: (i64, i64, i64, i64)) -> usize {
-    let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg)
-        .expect("sketch matches space");
+/// SWAN target parameters `(tp_thrsh, l_thrsh, slope1, slope2)`.
+type Target = (i64, i64, i64, i64);
+
+fn run_once(cfg: SynthConfig, target: Target) -> usize {
+    let mut synth =
+        Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).expect("sketch matches space");
     let mut oracle =
         GroundTruthOracle::new(swan_target_with(target.0, target.1, target.2, target.3));
     let result = synth.run(&mut oracle).expect("consistent oracle");
@@ -23,7 +26,7 @@ fn run_once(cfg: SynthConfig, target: (i64, i64, i64, i64)) -> usize {
 }
 
 /// Benchmark configuration: coarser than `fast_test` so one end-to-end
-/// synthesis lands in the low seconds — Criterion needs ≥ 10 samples per
+/// synthesis lands in the low seconds — the harness takes ≥ 10 samples per
 /// point and this suite has a dozen points.
 fn bench_cfg(seed: u64) -> SynthConfig {
     let mut cfg = SynthConfig::fast_test();
@@ -35,7 +38,7 @@ fn bench_cfg(seed: u64) -> SynthConfig {
     cfg
 }
 
-fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+fn tune(g: &mut BenchmarkGroup<'_>) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_secs(1));
     g.measurement_time(Duration::from_secs(12));
@@ -60,11 +63,8 @@ fn table1(c: &mut Criterion) {
 fn fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_target_variants");
     tune(&mut g);
-    let variants: [(&str, (i64, i64, i64, i64)); 3] = [
-        ("baseline", (1, 50, 1, 5)),
-        ("l_thrsh=80", (1, 80, 1, 5)),
-        ("slope2=2", (1, 50, 1, 2)),
-    ];
+    let variants: [(&str, Target); 3] =
+        [("baseline", (1, 50, 1, 5)), ("l_thrsh=80", (1, 80, 1, 5)), ("slope2=2", (1, 50, 1, 2))];
     for (name, target) in variants {
         g.bench_with_input(BenchmarkId::from_parameter(name), &target, |b, &t| {
             let mut seed = 0u64;
@@ -131,5 +131,4 @@ fn ablation_seeding(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(experiments, table1, fig3, fig4, fig5, ablation_seeding);
-criterion_main!(experiments);
+cso_runtime::bench_main!(table1, fig3, fig4, fig5, ablation_seeding);

@@ -1,13 +1,13 @@
 //! Micro-benchmarks of the substrates: the costs that make up one
 //! synthesis iteration, plus the network-substrate primitives.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cso_logic::solver::{Solver, SolverConfig};
 use cso_logic::{eval::eval_term, ieval::ieval_term, BoxDomain, Term, VarRegistry};
 use cso_lp::LpProblem;
 use cso_netsim::alloc::{Allocator, Instance};
 use cso_netsim::{FlowSpec, Topology, TrafficClass};
 use cso_numeric::{BigInt, Interval, Rat};
+use cso_runtime::bench::{BenchmarkId, Criterion};
 use cso_sketch::swan::{swan_sketch, swan_target};
 use std::hint::black_box;
 
@@ -16,9 +16,7 @@ fn numeric(c: &mut Criterion) {
     let a: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
     let b: BigInt = "987654321098765432109876543210".parse().unwrap();
     g.bench_function("bigint_mul", |bch| bch.iter(|| black_box(&a) * black_box(&b)));
-    g.bench_function("bigint_divrem", |bch| {
-        bch.iter(|| black_box(&a).div_rem(black_box(&b)))
-    });
+    g.bench_function("bigint_divrem", |bch| bch.iter(|| black_box(&a).div_rem(black_box(&b))));
     g.bench_function("bigint_gcd", |bch| bch.iter(|| black_box(&a).gcd(black_box(&b))));
     let x = Rat::from_frac(355, 113);
     let y = Rat::from_frac(-104348, 33215);
@@ -69,9 +67,8 @@ fn lp(c: &mut Criterion) {
                     lp.set_objective_coeff(i, Rat::from_int(1 + (i as i64 % 3)));
                 }
                 for i in 0..n {
-                    let coeffs: Vec<(usize, Rat)> = (0..n)
-                        .map(|j| (j, Rat::from_int(((i + j) % 4 + 1) as i64)))
-                        .collect();
+                    let coeffs: Vec<(usize, Rat)> =
+                        (0..n).map(|j| (j, Rat::from_int(((i + j) % 4 + 1) as i64))).collect();
                     lp.add_le(coeffs, Rat::from_int(50));
                 }
                 black_box(lp.solve())
@@ -103,9 +100,7 @@ fn netsim(c: &mut Criterion) {
     g.bench_function("swan_epsilon_wan5", |bch| {
         bch.iter(|| {
             black_box(
-                Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 100) }
-                    .allocate(&inst)
-                    .unwrap(),
+                Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 100) }.allocate(&inst).unwrap(),
             )
         })
     });
@@ -114,16 +109,11 @@ fn netsim(c: &mut Criterion) {
 
 fn sketch(c: &mut Criterion) {
     let mut g = c.benchmark_group("sketch");
-    g.bench_function("parse_swan", |bch| {
-        bch.iter(|| black_box(swan_sketch()))
-    });
+    g.bench_function("parse_swan", |bch| bch.iter(|| black_box(swan_sketch())));
     let target = swan_target();
     let env = [Rat::from_int(2), Rat::from_int(10)];
-    g.bench_function("eval_completed", |bch| {
-        bch.iter(|| black_box(target.eval(&env).unwrap()))
-    });
+    g.bench_function("eval_completed", |bch| bch.iter(|| black_box(target.eval(&env).unwrap())));
     g.finish();
 }
 
-criterion_group!(micro, numeric, logic, lp, netsim, sketch);
-criterion_main!(micro);
+cso_runtime::bench_main!(numeric, logic, lp, netsim, sketch);

@@ -9,9 +9,7 @@
 //! `--paper` switches to 9 runs with paper-fidelity solver settings.
 
 use cso_bench::experiments::{ablation, fig3, fig4, fig5, table1, ExperimentProfile};
-use cso_bench::report::{
-    render_ablation, render_fig3, render_fig4, render_fig5, render_table1,
-};
+use cso_bench::report::{render_ablation, render_fig3, render_fig4, render_fig5, render_table1};
 use std::path::PathBuf;
 
 fn main() {
@@ -34,7 +32,9 @@ fn main() {
             "table1" | "fig3" | "fig4" | "fig5" | "ablation" | "all" => which.push(a),
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: repro [table1|fig3|fig4|fig5|ablation|all] [--paper] [--csv DIR]");
+                eprintln!(
+                    "usage: repro [table1|fig3|fig4|fig5|ablation|all] [--paper] [--csv DIR]"
+                );
                 std::process::exit(2);
             }
         }
@@ -56,15 +56,12 @@ fn main() {
         }
     };
 
-    println!(
-        "profile: {:?} ({} runs per configuration)\n",
-        profile,
-        profile.runs()
-    );
+    println!("profile: {:?} ({} runs per configuration)\n", profile, profile.runs());
 
     if wants("table1") {
         let t = table1(profile);
         println!("{}", render_table1(&t));
+        write_csv("table1.csv", &cso_bench::report::csv_table1(&t));
     }
     if wants("fig3") {
         let rows = fig3(profile);

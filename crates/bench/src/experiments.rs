@@ -62,11 +62,7 @@ pub struct RunOutcome {
 }
 
 /// Run one synthesis against a ground-truth target.
-fn one_run(
-    target: (i64, i64, i64, i64),
-    cfg_template: &SynthConfig,
-    seed: u64,
-) -> RunOutcome {
+fn one_run(target: (i64, i64, i64, i64), cfg_template: &SynthConfig, seed: u64) -> RunOutcome {
     let target_obj = swan_target_with(target.0, target.1, target.2, target.3);
     let mut cfg = cfg_template.clone();
     cfg.seed = seed;
@@ -98,24 +94,9 @@ fn runs_for(
     n: usize,
     seed_base: u64,
 ) -> Vec<RunOutcome> {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n.max(1));
-    if threads <= 1 {
-        return (0..n).map(|i| one_run(target, cfg, seed_base + i as u64)).collect();
-    }
-    let mut out: Vec<Option<RunOutcome>> = vec![None; n];
-    crossbeam::thread::scope(|s| {
-        for (chunk_id, chunk) in out.chunks_mut(n.div_ceil(threads)).enumerate() {
-            let cfg = cfg.clone();
-            s.spawn(move |_| {
-                let base = chunk_id * n.div_ceil(threads);
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(one_run(target, &cfg, seed_base + (base + off) as u64));
-                }
-            });
-        }
+    cso_runtime::pool::parallel_map((0..n as u64).collect(), |i| {
+        one_run(target, cfg, seed_base + i)
     })
-    .expect("worker panicked");
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
 }
 
 /// Table 1: summaries over `profile.runs()` baseline runs.
@@ -313,8 +294,8 @@ pub fn ablation(profile: ExperimentProfile) -> Vec<AblationRow> {
                 cfg.max_iterations = cfg.max_iterations.min(40);
             }
             cfg.seed = 6000 + i as u64;
-            let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg)
-                .expect("valid setup");
+            let mut synth =
+                Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).expect("valid setup");
             let mut oracle = GroundTruthOracle::new(target.clone());
             if let Ok(r) = synth.run(&mut oracle) {
                 completed += 1;
@@ -447,6 +428,17 @@ mod tests {
         assert!(t.iterations.average >= 1.0);
         assert!(t.total_secs.average > 0.0);
         assert!(t.mean_agreement > 0.85, "agreement {}", t.mean_agreement);
+    }
+
+    #[test]
+    fn table1_csv_is_byte_identical_across_runs() {
+        // The CSV keeps only seed-determined fields (iterations,
+        // agreement, outcome), so two campaigns of the same build must
+        // serialize identically byte for byte.
+        let a = crate::report::csv_table1(&table1(ExperimentProfile::Quick));
+        let b = crate::report::csv_table1(&table1(ExperimentProfile::Quick));
+        assert!(!a.is_empty() && a.lines().count() == 4, "header + 3 runs:\n{a}");
+        assert_eq!(a, b, "table1 CSV must be deterministic");
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //!   indifference handling, noise repair.
 //!
 //! Runs are deterministic per seed; independent runs are distributed over
-//! `crossbeam` scoped threads (which degrades gracefully to sequential on
-//! a single-core host).
+//! `cso_runtime::pool` scoped threads (which degrades gracefully to
+//! sequential on a single-core host).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,7 +24,7 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    ablation, fig3, fig4, fig5, table1, AblationRow, ExperimentProfile, Fig3Row, Fig4Row,
-    Fig5Row, RunOutcome, Table1Result,
+    ablation, fig3, fig4, fig5, table1, AblationRow, ExperimentProfile, Fig3Row, Fig4Row, Fig5Row,
+    RunOutcome, Table1Result,
 };
 pub use report::{render_ablation, render_fig3, render_fig4, render_fig5, render_table1};

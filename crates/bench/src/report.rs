@@ -115,6 +115,19 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
     s
 }
 
+/// CSV for Table 1: one row per run, **deterministic fields only**
+/// (iterations, agreement, termination) — no wall-clock columns, so two
+/// runs of the same build produce byte-identical files. The seed column
+/// is the run's index within the campaign.
+#[must_use]
+pub fn csv_table1(t: &Table1Result) -> String {
+    let mut s = String::from("run,iterations,agreement,outcome\n");
+    for (i, r) in t.runs.iter().enumerate() {
+        let _ = writeln!(s, "{},{},{},{:?}", i, r.iterations, r.agreement, r.outcome);
+    }
+    s
+}
+
 /// CSV for Figure 3.
 #[must_use]
 pub fn csv_fig3(rows: &[Fig3Row]) -> String {

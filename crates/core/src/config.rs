@@ -71,12 +71,14 @@ impl SynthConfig {
     /// budgets. Converges on the SWAN sketch in a few seconds.
     #[must_use]
     pub fn fast_test() -> SynthConfig {
-        let mut cfg = SynthConfig::default();
-        cfg.delta_rel = 0.03;
+        let mut cfg = SynthConfig {
+            delta_rel: 0.03,
+            margin: Rat::from_int(5),
+            max_iterations: 80,
+            ..SynthConfig::default()
+        };
         cfg.solver.max_boxes = 4_000;
         cfg.solver.initial_samples = 96;
-        cfg.margin = Rat::from_int(5);
-        cfg.max_iterations = 80;
         cfg
     }
 }

@@ -8,9 +8,8 @@ use crate::stats::{IterationRecord, SynthStats};
 use cso_logic::solver::{Outcome, Solver, SolverConfig};
 use cso_logic::Model;
 use cso_prefgraph::{PrefGraph, ScenarioId};
+use cso_runtime::Rng;
 use cso_sketch::{CompletedObjective, Sketch};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
@@ -63,10 +62,9 @@ pub enum SynthError {
 impl fmt::Display for SynthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SynthError::SpaceMismatch { sketch_params, space_dims } => write!(
-                f,
-                "sketch takes {sketch_params} metrics but the space has {space_dims}"
-            ),
+            SynthError::SpaceMismatch { sketch_params, space_dims } => {
+                write!(f, "sketch takes {sketch_params} metrics but the space has {space_dims}")
+            }
             SynthError::NoViableCandidate => {
                 write!(f, "no hole assignment satisfies the recorded preferences")
             }
@@ -97,11 +95,7 @@ fn trace(args: std::fmt::Arguments<'_>) {
 enum PairSearch {
     /// A pair was found. Carries the second candidate's hole values to
     /// seed the next feasibility search.
-    Found {
-        pair: (Scenario, Scenario),
-        from_seeding: bool,
-        fb_holes: Vec<cso_numeric::Rat>,
-    },
+    Found { pair: (Scenario, Scenario), from_seeding: bool, fb_holes: Vec<cso_numeric::Rat> },
     /// Proven (δ-)unsatisfiable: candidates are margin-equivalent.
     Converged,
     /// Budget ran out without a decision.
@@ -116,7 +110,7 @@ pub struct Synthesizer {
     qb: QueryBuilder,
     graph: PrefGraph<Scenario>,
     vertex_of: HashMap<Scenario, ScenarioId>,
-    rng: StdRng,
+    rng: Rng,
     space: MetricSpace,
     /// Pool of hole assignments that satisfied some recent feasibility
     /// query; used to seed later searches (most recent first, bounded).
@@ -143,7 +137,7 @@ impl Synthesizer {
             });
         }
         let qb = QueryBuilder::new(sketch.clone(), space.clone(), &cfg);
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = Rng::seed_from_u64(cfg.seed);
         Ok(Synthesizer {
             sketch,
             cfg,
@@ -167,10 +161,6 @@ impl Synthesizer {
     #[must_use]
     pub fn graph(&self) -> &PrefGraph<Scenario> {
         &self.graph
-    }
-
-    fn make_solver(&self, seed_salt: u64) -> Solver {
-        self.make_solver_scaled(seed_salt, 1.0, 1.0)
     }
 
     /// A solver with δ scaled by `delta_factor` and the box budget scaled
@@ -273,12 +263,12 @@ impl Synthesizer {
         // Ties within a group.
         for group in &ids {
             for w in group.windows(2) {
-                if w[0] != w[1] && !self.graph.indifferent(w[0], w[1]) {
-                    if self.graph.mark_indifferent(w[0], w[1]).is_err()
-                        && !self.cfg.repair_noise
-                    {
-                        return Err(SynthError::InconsistentPreferences);
-                    }
+                if w[0] != w[1]
+                    && !self.graph.indifferent(w[0], w[1])
+                    && self.graph.mark_indifferent(w[0], w[1]).is_err()
+                    && !self.cfg.repair_noise
+                {
+                    return Err(SynthError::InconsistentPreferences);
                 }
             }
         }
@@ -338,10 +328,7 @@ impl Synthesizer {
             match solver.solve_seeded(&feas, &self.qb.domain(), &all_seeds) {
                 Outcome::Sat(m) => {
                     let holes = self.qb.model_holes(&m);
-                    return self
-                        .sketch
-                        .complete(holes)
-                        .map_err(|_| SynthError::NoViableCandidate);
+                    return self.sketch.complete(holes).map_err(|_| SynthError::NoViableCandidate);
                 }
                 Outcome::Unsat => return Err(SynthError::NoViableCandidate),
                 Outcome::DeltaUnsat | Outcome::Exhausted => {
@@ -391,11 +378,11 @@ impl Synthesizer {
                 let mut shifted = fa.hole_values().to_vec();
                 let (lo, hi) = self.qb.hole_bounds(hole);
                 let width = &hi - &lo;
-                let sep = &width * &cso_numeric::Rat::from_f64(sep_rel * 1.05)
-                    .unwrap_or_else(cso_numeric::Rat::zero);
+                let sep = &width
+                    * &cso_numeric::Rat::from_f64(sep_rel * 1.05)
+                        .unwrap_or_else(cso_numeric::Rat::zero);
                 shifted[hole] =
-                    (&shifted[hole] + &(&sep * &cso_numeric::Rat::from_int(sign)))
-                        .clamp(&lo, &hi);
+                    (&shifted[hole] + &(&sep * &cso_numeric::Rat::from_int(sign))).clamp(&lo, &hi);
                 seeds.push(self.qb.seed_from_holes(&shifted));
             }
             seeds.extend(extra_seeds.iter().cloned());
@@ -449,8 +436,7 @@ impl Synthesizer {
         // failed, so this is primarily a proof obligation.
         trace(format_args!("fast path dry; running joint proof"));
         let q = self.qb.disambiguation(&self.graph, fa, exclusions);
-        let mut solver =
-            self.make_solver_scaled(salt * 31 + 3, self.cfg.proof_delta_factor, 1.0);
+        let mut solver = self.make_solver_scaled(salt * 31 + 3, self.cfg.proof_delta_factor, 1.0);
         match solver.solve(&q, &self.qb.domain()) {
             Outcome::Sat(m) => {
                 let pair = self.qb.model_pair(&m);
@@ -612,8 +598,7 @@ mod tests {
 
     #[test]
     fn synthesizes_swan_objective() {
-        let mut synth =
-            Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(42)).unwrap();
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(42)).unwrap();
         let mut oracle = LoggingOracle::new(GroundTruthOracle::new(swan_target()));
         let result = synth.run(&mut oracle).unwrap();
         assert!(
@@ -623,8 +608,8 @@ mod tests {
         );
         assert!(result.stats.iterations() >= 1);
         assert_eq!(oracle.interactions, result.stats.iterations() + 1); // +1 initial
-        // The learnt objective must agree with the target on scenario pairs
-        // the target separates clearly.
+                                                                        // The learnt objective must agree with the target on scenario pairs
+                                                                        // the target separates clearly.
         let agreement = preference_agreement(
             &result.objective,
             &swan_target(),
@@ -676,8 +661,7 @@ mod tests {
     fn different_targets_synthesized() {
         // A Figure 3-style variant: different threshold and slopes.
         let target = swan_target_with(3, 80, 2, 4);
-        let mut synth =
-            Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(21)).unwrap();
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(21)).unwrap();
         let mut oracle = GroundTruthOracle::new(target.clone());
         let result = synth.run(&mut oracle).unwrap();
         let agreement = preference_agreement(
@@ -735,8 +719,7 @@ mod tests {
 
     #[test]
     fn graph_grows_with_iterations() {
-        let mut synth =
-            Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(8)).unwrap();
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(8)).unwrap();
         let mut oracle = GroundTruthOracle::new(swan_target());
         let result = synth.run(&mut oracle).unwrap();
         assert!(synth.graph().edge_count() >= result.stats.iterations());

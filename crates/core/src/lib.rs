@@ -59,8 +59,7 @@ pub mod verify;
 pub use config::SynthConfig;
 pub use engine::{SynthError, SynthOutcome, SynthResult, Synthesizer};
 pub use oracle::{
-    FnOracle, GroundTruthOracle, IndifferenceOracle, LoggingOracle, NoisyOracle, Oracle,
-    Ranking,
+    FnOracle, GroundTruthOracle, IndifferenceOracle, LoggingOracle, NoisyOracle, Oracle, Ranking,
 };
 pub use scenario::{MetricSpace, Scenario};
 pub use stats::{IterationRecord, RunSummary, SynthStats};

@@ -6,9 +6,8 @@
 //! robustness experiments, and a logging wrapper that counts interactions.
 
 use crate::scenario::Scenario;
+use cso_runtime::Rng;
 use cso_sketch::CompletedObjective;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// The oracle's answer to "rank these scenarios".
 ///
@@ -118,7 +117,7 @@ impl Oracle for GroundTruthOracle {
 pub struct NoisyOracle<O> {
     inner: O,
     flip_prob: f64,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl<O: Oracle> NoisyOracle<O> {
@@ -126,7 +125,7 @@ impl<O: Oracle> NoisyOracle<O> {
     /// `flip_prob` (deterministic per `seed`).
     #[must_use]
     pub fn new(inner: O, flip_prob: f64, seed: u64) -> NoisyOracle<O> {
-        NoisyOracle { inner, flip_prob, rng: StdRng::seed_from_u64(seed) }
+        NoisyOracle { inner, flip_prob, rng: Rng::seed_from_u64(seed) }
     }
 }
 
@@ -264,9 +263,9 @@ mod tests {
 
     fn scenarios() -> Vec<Scenario> {
         vec![
-            Scenario::from_ints(&[2, 10]),   // satisfying: 982
-            Scenario::from_ints(&[2, 100]),  // unsatisfying: -998
-            Scenario::from_ints(&[5, 10]),   // satisfying: 955
+            Scenario::from_ints(&[2, 10]),  // satisfying: 982
+            Scenario::from_ints(&[2, 100]), // unsatisfying: -998
+            Scenario::from_ints(&[5, 10]),  // satisfying: 955
         ]
     }
 

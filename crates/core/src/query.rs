@@ -246,8 +246,7 @@ impl QueryBuilder {
                 let sep = &(hi - lo) / &Rat::from_int(50);
                 let x = Term::var(var);
                 let c = Term::constant(prev.values()[d].clone());
-                disjuncts
-                    .push(x.clone().sub(c.clone()).ge(Term::constant(sep.clone())));
+                disjuncts.push(x.clone().sub(c.clone()).ge(Term::constant(sep.clone())));
                 disjuncts.push(c.sub(x).ge(Term::constant(sep)));
             }
         }
@@ -350,12 +349,7 @@ mod tests {
         let f = qb.feasibility(&g);
 
         // Target holes satisfy it.
-        let target = vec![
-            Rat::from_int(1),
-            Rat::from_int(50),
-            Rat::from_int(1),
-            Rat::from_int(5),
-        ];
+        let target = vec![Rat::from_int(1), Rat::from_int(50), Rat::from_int(1), Rat::from_int(5)];
         let env = qb.seed_from_holes(&target);
         assert!(eval_formula(&f, env.values()).unwrap());
 
@@ -377,17 +371,23 @@ mod tests {
 
         let fa = swan_target();
         let q = qb.disambiguation(&g, &fa, &[]);
-        let mut cfg = SolverConfig::default();
-        cfg.delta_per_dim = Some(qb.deltas(0.01));
-        cfg.max_boxes = 50_000;
+        let cfg = SolverConfig {
+            delta_per_dim: Some(qb.deltas(0.01)),
+            max_boxes: 50_000,
+            ..SolverConfig::default()
+        };
         let mut solver = Solver::new(cfg);
         match solver.solve(&q, &qb.domain()) {
             Outcome::Sat(m) => {
                 let fb = swan_sketch().complete(qb.model_holes(&m)).unwrap();
                 let (s1, s2) = qb.model_pair(&m);
                 // fb prefers s2, fa prefers s1, both by the margin.
-                assert!(fb.eval(s2.values()).unwrap() >= &fb.eval(s1.values()).unwrap() + &Rat::one());
-                assert!(fa.eval(s1.values()).unwrap() >= &fa.eval(s2.values()).unwrap() + &Rat::one());
+                assert!(
+                    fb.eval(s2.values()).unwrap() >= &fb.eval(s1.values()).unwrap() + &Rat::one()
+                );
+                assert!(
+                    fa.eval(s1.values()).unwrap() >= &fa.eval(s2.values()).unwrap() + &Rat::one()
+                );
             }
             o => panic!("expected a disambiguation, got {o:?}"),
         }
@@ -410,10 +410,18 @@ mod tests {
             values[qb.hole_ids()[i].index()] = Rat::from_int(*v);
         }
         for (d, v) in p1.values().iter().enumerate() {
-            values[qb.registry().get(&format!("s1_{}", MetricSpace::swan().name(d))).unwrap().index()] = v.clone();
+            values[qb
+                .registry()
+                .get(&format!("s1_{}", MetricSpace::swan().name(d)))
+                .unwrap()
+                .index()] = v.clone();
         }
         for (d, v) in p2.values().iter().enumerate() {
-            values[qb.registry().get(&format!("s2_{}", MetricSpace::swan().name(d))).unwrap().index()] = v.clone();
+            values[qb
+                .registry()
+                .get(&format!("s2_{}", MetricSpace::swan().name(d)))
+                .unwrap()
+                .index()] = v.clone();
         }
         assert!(!eval_formula(&q, &values).unwrap(), "identical pair must be excluded");
     }

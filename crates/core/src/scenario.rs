@@ -6,8 +6,7 @@
 //! ranges the paper calls `ClosedInRange`.
 
 use cso_numeric::Rat;
-use rand::rngs::StdRng;
-use rand::RngExt;
+use cso_runtime::Rng;
 use std::fmt;
 
 /// A concrete metric combination presented to the oracle.
@@ -155,17 +154,14 @@ impl MetricSpace {
     #[must_use]
     pub fn contains(&self, s: &Scenario) -> bool {
         s.len() == self.dims()
-            && s.values()
-                .iter()
-                .zip(&self.bounds)
-                .all(|(v, (lo, hi))| v >= lo && v <= hi)
+            && s.values().iter().zip(&self.bounds).all(|(v, (lo, hi))| v >= lo && v <= hi)
     }
 
     /// Sample a uniform random scenario (values snapped to 3 decimal
     /// places so oracles and humans see tidy numbers; exactness is kept
     /// because the snap itself is an exact rational).
     #[must_use]
-    pub fn sample(&self, rng: &mut StdRng) -> Scenario {
+    pub fn sample(&self, rng: &mut Rng) -> Scenario {
         let values = self
             .bounds
             .iter()
@@ -216,7 +212,6 @@ impl MetricSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn scenario_accessors() {
@@ -230,10 +225,7 @@ mod tests {
     fn display_with_names() {
         let sp = MetricSpace::swan();
         let s = Scenario::from_ints(&[2, 100]);
-        assert_eq!(
-            s.display_with(&sp).to_string(),
-            "(throughput = 2, latency = 100)"
-        );
+        assert_eq!(s.display_with(&sp).to_string(), "(throughput = 2, latency = 100)");
     }
 
     #[test]
@@ -258,7 +250,7 @@ mod tests {
     #[test]
     fn sampling_stays_in_bounds() {
         let sp = MetricSpace::swan();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         for _ in 0..200 {
             let s = sp.sample(&mut rng);
             assert!(sp.contains(&s), "sample {s} out of bounds");
@@ -268,10 +260,8 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let sp = MetricSpace::swan();
-        let a: Vec<Scenario> =
-            (0..5).map(|_| sp.sample(&mut StdRng::seed_from_u64(1))).collect();
-        let b: Vec<Scenario> =
-            (0..5).map(|_| sp.sample(&mut StdRng::seed_from_u64(1))).collect();
+        let a: Vec<Scenario> = (0..5).map(|_| sp.sample(&mut Rng::seed_from_u64(1))).collect();
+        let b: Vec<Scenario> = (0..5).map(|_| sp.sample(&mut Rng::seed_from_u64(1))).collect();
         assert_eq!(a, b);
     }
 

@@ -9,9 +9,8 @@
 
 use crate::scenario::MetricSpace;
 use cso_numeric::Rat;
+use cso_runtime::Rng;
 use cso_sketch::CompletedObjective;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Fraction of sampled scenario pairs on which `learnt` orders the pair the
 /// same way as `reference`, among pairs that `reference` separates by more
@@ -25,7 +24,7 @@ pub fn preference_agreement(
     seed: u64,
     margin: &Rat,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut considered = 0usize;
     let mut agreed = 0usize;
     for _ in 0..n_pairs {
@@ -66,11 +65,9 @@ pub fn max_misordered_gap(
     let grid = space.grid(per_dim);
     let vals: Vec<(Rat, Rat)> = grid
         .iter()
-        .filter_map(|s| {
-            match (reference.eval(s.values()), learnt.eval(s.values())) {
-                (Ok(r), Ok(l)) => Some((r, l)),
-                _ => None,
-            }
+        .filter_map(|s| match (reference.eval(s.values()), learnt.eval(s.values())) {
+            (Ok(r), Ok(l)) => Some((r, l)),
+            _ => None,
         })
         .collect();
     let mut worst = Rat::zero();
@@ -98,10 +95,7 @@ mod tests {
         let t = swan_target();
         let a = preference_agreement(&t, &t, &MetricSpace::swan(), 200, 1, &Rat::zero());
         assert_eq!(a, 1.0);
-        assert_eq!(
-            max_misordered_gap(&t, &t, &MetricSpace::swan(), 5),
-            Rat::zero()
-        );
+        assert_eq!(max_misordered_gap(&t, &t, &MetricSpace::swan(), 5), Rat::zero());
     }
 
     #[test]
@@ -113,14 +107,8 @@ mod tests {
         let t3 = swan_target_with(1, 50, 3, 5);
         let a = crate::scenario::Scenario::new(vec![Rat::from_int(4), Rat::from_frac(1, 2)]);
         let b = crate::scenario::Scenario::new(vec![Rat::from_int(2), Rat::from_frac(1, 2)]);
-        assert_eq!(
-            t1.compare(a.values(), b.values()).unwrap(),
-            std::cmp::Ordering::Greater
-        );
-        assert_eq!(
-            t3.compare(a.values(), b.values()).unwrap(),
-            std::cmp::Ordering::Less
-        );
+        assert_eq!(t1.compare(a.values(), b.values()).unwrap(), std::cmp::Ordering::Greater);
+        assert_eq!(t3.compare(a.values(), b.values()).unwrap(), std::cmp::Ordering::Less);
         // Sampled agreement must notice such pairs given enough samples.
         let agreement =
             preference_agreement(&t1, &t3, &MetricSpace::swan(), 4000, 2, &Rat::from_frac(1, 2));

@@ -151,11 +151,7 @@ mod tests {
     fn ite_selects_branch() {
         let mut r = VarRegistry::new();
         let x = r.intern("x");
-        let t = Term::ite(
-            Term::var(x).ge(Term::int(0)),
-            Term::var(x),
-            Term::var(x).neg(),
-        ); // |x|
+        let t = Term::ite(Term::var(x).ge(Term::int(0)), Term::var(x), Term::var(x).neg()); // |x|
         assert_eq!(eval_term(&t, &env(&[7])).unwrap(), Rat::from_int(7));
         assert_eq!(eval_term(&t, &env(&[-7])).unwrap(), Rat::from_int(7));
     }
@@ -166,13 +162,10 @@ mod tests {
         let mut r = VarRegistry::new();
         let t = r.intern("throughput");
         let l = r.intern("latency");
-        let cond = Formula::and(vec![
-            Term::var(t).ge(Term::int(1)),
-            Term::var(l).le(Term::int(50)),
-        ]);
-        let sat = Term::var(t)
-            .sub(Term::int(1).mul(Term::var(t)).mul(Term::var(l)))
-            .add(Term::int(1000));
+        let cond =
+            Formula::and(vec![Term::var(t).ge(Term::int(1)), Term::var(l).le(Term::int(50))]);
+        let sat =
+            Term::var(t).sub(Term::int(1).mul(Term::var(t)).mul(Term::var(l))).add(Term::int(1000));
         let unsat = Term::var(t).sub(Term::int(5).mul(Term::var(t)).mul(Term::var(l)));
         let f = Term::ite(cond, sat, unsat);
         // satisfying region: (2, 10) -> 2 - 20 + 1000 = 982

@@ -47,8 +47,10 @@ impl Tri {
         }
     }
 
-    /// Three-valued negation.
+    /// Three-valued negation. Kept as an inherent method alongside
+    /// `and`/`or` — Kleene logic reads better without operator overloading.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Tri {
         match self {
             Tri::True => Tri::False,

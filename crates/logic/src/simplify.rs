@@ -75,9 +75,7 @@ pub fn simplify_term(t: &Term) -> Term {
             let a = simplify_term(a);
             let b = simplify_term(b);
             match (&a, &b) {
-                (Term::Const(x), Term::Const(y)) => {
-                    Term::Const(x.clone().min(y.clone()))
-                }
+                (Term::Const(x), Term::Const(y)) => Term::Const(x.clone().min(y.clone())),
                 _ if a == b => a,
                 _ => Term::Min(Rc::new(a), Rc::new(b)),
             }
@@ -86,9 +84,7 @@ pub fn simplify_term(t: &Term) -> Term {
             let a = simplify_term(a);
             let b = simplify_term(b);
             match (&a, &b) {
-                (Term::Const(x), Term::Const(y)) => {
-                    Term::Const(x.clone().max(y.clone()))
-                }
+                (Term::Const(x), Term::Const(y)) => Term::Const(x.clone().max(y.clone())),
                 _ if a == b => a,
                 _ => Term::Max(Rc::new(a), Rc::new(b)),
             }
@@ -227,10 +223,7 @@ mod tests {
     fn and_or_flattening() {
         let (x, _) = x_term();
         let a = x.clone().gt(Term::int(0));
-        let f = Formula::and(vec![
-            Formula::True,
-            Formula::and(vec![a.clone(), Formula::True]),
-        ]);
+        let f = Formula::and(vec![Formula::True, Formula::and(vec![a.clone(), Formula::True])]);
         assert_eq!(simplify_formula(&f), a);
         let g = Formula::and(vec![a.clone(), Formula::False]);
         assert_eq!(simplify_formula(&g), Formula::False);

@@ -39,8 +39,7 @@ use crate::simplify::simplify_formula;
 use crate::term::Formula;
 use crate::vars::BoxDomain;
 use cso_numeric::{Interval, Rat};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use cso_runtime::Rng;
 
 /// Tuning knobs for the solver.
 #[derive(Debug, Clone)]
@@ -135,7 +134,7 @@ pub struct SolverStats {
 #[derive(Debug)]
 pub struct Solver {
     cfg: SolverConfig,
-    rng: StdRng,
+    rng: Rng,
     /// Statistics from the most recent `solve` call.
     pub stats: SolverStats,
 }
@@ -151,7 +150,7 @@ impl Solver {
     /// Create a solver with the given configuration.
     #[must_use]
     pub fn new(cfg: SolverConfig) -> Solver {
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = Rng::seed_from_u64(cfg.seed);
         Solver { cfg, rng, stats: SolverStats::default() }
     }
 
@@ -229,10 +228,8 @@ impl Solver {
             // f simplified to True; handled earlier, but stay safe.
             return Outcome::Sat(Model::new(self.mid_values(dom)));
         }
-        let mentions: Vec<Vec<u32>> = conjuncts
-            .iter()
-            .map(|c| c.vars().iter().map(|v| v.0).collect())
-            .collect();
+        let mentions: Vec<Vec<u32>> =
+            conjuncts.iter().map(|c| c.vars().iter().map(|v| v.0).collect()).collect();
 
         // Root: evaluate everything once.
         let mut root_pending = Vec::new();
@@ -355,8 +352,8 @@ impl Solver {
         }
         let mut best = None;
         let mut score = f64::NEG_INFINITY;
-        for d in 0..item.dom.len() {
-            if !relevant[d] {
+        for (d, &rel) in relevant.iter().enumerate() {
+            if !rel {
                 continue;
             }
             let w = item.dom.intervals()[d].width();
@@ -561,10 +558,7 @@ mod tests {
     #[test]
     fn seeds_accelerate_and_are_clamped() {
         let (_, d, x, y) = setup2();
-        let f = Formula::and(vec![
-            Term::var(x).ge(Term::int(9)),
-            Term::var(y).le(Term::int(1)),
-        ]);
+        let f = Formula::and(vec![Term::var(x).ge(Term::int(9)), Term::var(y).le(Term::int(1))]);
         // A seed outside the box gets clamped in and certified.
         let seed = Model::new(vec![Rat::from_int(50), Rat::from_int(-3)]);
         let mut s = solver();
@@ -581,12 +575,8 @@ mod tests {
     #[test]
     fn seeding_disabled_still_solves() {
         let (_, d, x, y) = setup2();
-        let f = Formula::and(vec![
-            Term::var(x).ge(Term::int(9)),
-            Term::var(y).le(Term::int(1)),
-        ]);
-        let mut cfg = SolverConfig::default();
-        cfg.use_seeding = false;
+        let f = Formula::and(vec![Term::var(x).ge(Term::int(9)), Term::var(y).le(Term::int(1))]);
+        let cfg = SolverConfig { use_seeding: false, ..SolverConfig::default() };
         let mut s = Solver::new(cfg);
         let out = s.solve(&f, &d);
         assert!(out.model().is_some());
@@ -611,10 +601,12 @@ mod tests {
             Term::var(x).add(Term::var(y)).le(Term::int(10)),
             Term::var(x).sub(Term::var(y)).ge(Term::constant(Rat::from_frac(1, 1000))),
         ]);
-        let mut cfg = SolverConfig::default();
-        cfg.max_boxes = 3;
-        cfg.use_seeding = false;
-        cfg.delta = 1e-9;
+        let cfg = SolverConfig {
+            max_boxes: 3,
+            use_seeding: false,
+            delta: 1e-9,
+            ..SolverConfig::default()
+        };
         let mut s = Solver::new(cfg);
         let out = s.solve(&f, &d);
         assert!(matches!(out, Outcome::Exhausted | Outcome::DeltaUnsat), "got {out:?}");
@@ -634,9 +626,7 @@ mod tests {
             Term::var(x).ge(Term::int(1)),
             Term::var(x).mul(Term::var(x)).ne_t(Term::var(x)),
         ]);
-        let mut cfg = SolverConfig::default();
-        cfg.delta = 0.05;
-        cfg.max_boxes = 100_000;
+        let cfg = SolverConfig { delta: 0.05, max_boxes: 100_000, ..SolverConfig::default() };
         let mut s = Solver::new(cfg);
         match s.solve(&f, &d) {
             Outcome::Sat(m) => {

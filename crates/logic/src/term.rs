@@ -111,6 +111,10 @@ pub enum Term {
     Ite(Rc<Formula>, Rc<Term>, Rc<Term>),
 }
 
+// Builder methods deliberately mirror the operator names (`add`, `mul`, …):
+// they build AST nodes, they don't compute, so the `std::ops` traits would
+// suggest the wrong semantics.
+#[allow(clippy::should_implement_trait)]
 impl Term {
     /// A rational constant term.
     #[must_use]
@@ -314,6 +318,8 @@ pub enum Formula {
     Not(Rc<Formula>),
 }
 
+// Same rationale as `Term`: `not` constructs a node, it doesn't evaluate.
+#[allow(clippy::should_implement_trait)]
 impl Formula {
     /// An atomic comparison.
     #[must_use]

@@ -14,148 +14,214 @@ use cso_logic::simplify::{simplify_formula, simplify_term};
 use cso_logic::solver::{Outcome, Solver, SolverConfig};
 use cso_logic::{BoxDomain, CmpOp, Formula, Term, VarId};
 use cso_numeric::{Interval, Rat};
-use proptest::prelude::*;
+use cso_runtime::prop::{self, int_in, one_of, recursive, vec_of, zip2, zip3, Config, Gen};
+use cso_runtime::{prop_assert, prop_assert_eq};
 
 const NVARS: usize = 3;
 
+fn cfg128() -> Config {
+    Config { cases: 128, ..Config::default() }
+}
+
 /// Random division-free term over NVARS variables (division would make the
 /// "error-free" precondition fiddly; dedicated unit tests cover Div).
-fn arb_term() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(Term::int),
-        (0u32..NVARS as u32).prop_map(|i| Term::var(VarId::from_index(i as usize))),
-    ];
-    leaf.prop_recursive(4, 64, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
-            inner.clone().prop_map(Term::neg),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| {
-                Term::ite(c.clone().ge(Term::int(0)), a, b)
-            }),
-        ]
+fn arb_term() -> Gen<Term> {
+    let leaf = one_of(vec![
+        int_in(-50, 49).map(Term::int),
+        int_in(0, NVARS as i64 - 1).map(|i| Term::var(VarId::from_index(i as usize))),
+    ]);
+    recursive(leaf, 4, |inner| {
+        one_of(vec![
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.add(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.sub(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.mul(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.min(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.max(b)),
+            inner.clone().map(Term::neg),
+            zip3(inner.clone(), inner.clone(), inner)
+                .map(|(c, a, b)| Term::ite(c.ge(Term::int(0)), a, b)),
+        ])
     })
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let atom = (arb_term(), arb_term(), 0u8..6).prop_map(|(a, b, op)| {
+fn arb_formula() -> Gen<Formula> {
+    let atom = zip3(arb_term(), arb_term(), int_in(0, 5)).map(|(a, b, op)| {
         let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][op as usize];
         Formula::cmp(op, a, b)
     });
-    atom.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
-            inner.prop_map(Formula::not),
-        ]
+    recursive(atom, 3, |inner| {
+        one_of(vec![
+            vec_of(inner.clone(), 1, 2).map(Formula::and),
+            vec_of(inner.clone(), 1, 2).map(Formula::or),
+            inner.map(Formula::not),
+        ])
     })
 }
 
 /// A box over NVARS vars plus a point inside it.
-fn arb_box_and_point() -> impl Strategy<Value = (BoxDomain, Vec<Rat>)> {
-    prop::collection::vec((-20i64..20, 0i64..10, 0u8..=100), NVARS).prop_map(|dims| {
+fn arb_box_and_point() -> Gen<(BoxDomain, Vec<Rat>)> {
+    vec_of(zip3(int_in(-20, 19), int_in(0, 9), int_in(0, 100)), NVARS, NVARS).map(|dims| {
         let mut dom = BoxDomain::with_len(NVARS);
         let mut pt = Vec::new();
         for (i, (lo, w, frac)) in dims.into_iter().enumerate() {
             let lo_r = Rat::from_int(lo);
             let hi_r = Rat::from_int(lo + w);
-            dom.set(VarId::from_index(i as usize), Interval::new(lo_r.to_f64(), hi_r.to_f64()));
+            dom.set(VarId::from_index(i), Interval::new(lo_r.to_f64(), hi_r.to_f64()));
             // Point at lo + w * frac/100: exactly representable rational.
-            let p = &lo_r + &(Rat::from_int(w) * Rat::from_frac(i64::from(frac), 100));
+            let p = &lo_r + &(Rat::from_int(w) * Rat::from_frac(frac, 100));
             pt.push(p);
         }
         (dom, pt)
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn term_enclosure() {
+    prop::check_with(
+        &cfg128(),
+        "term_enclosure",
+        &zip2(arb_box_and_point(), arb_term()),
+        |((dom, pt), t)| {
+            let exact = eval_term(t, pt).expect("division-free term");
+            let iv = ieval_term(t, dom);
+            prop_assert!(
+                iv.contains_f64(exact.to_f64())
+                    // Allow one ulp of slack when converting the exact value itself.
+                    || iv.contains_f64(exact.to_f64().next_down())
+                    || iv.contains_f64(exact.to_f64().next_up()),
+                "value {exact} outside enclosure {iv} for {t}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn term_enclosure((dom, pt) in arb_box_and_point(), t in arb_term()) {
-        let exact = eval_term(&t, &pt).expect("division-free term");
-        let iv = ieval_term(&t, &dom);
-        prop_assert!(
-            iv.contains_f64(exact.to_f64()) ||
-            // Allow one ulp of slack when converting the exact value itself.
-            iv.contains_f64(exact.to_f64().next_down()) ||
-            iv.contains_f64(exact.to_f64().next_up()),
-            "value {exact} outside enclosure {iv} for {t}"
-        );
-    }
-
-    #[test]
-    fn formula_verdict_sound((dom, pt) in arb_box_and_point(), f in arb_formula()) {
-        let exact = eval_formula(&f, &pt).expect("division-free formula");
-        match ieval_formula(&f, &dom) {
-            Tri::True => prop_assert!(exact, "Tri::True but point falsifies {f}"),
-            Tri::False => prop_assert!(!exact, "Tri::False but point satisfies {f}"),
-            Tri::Unknown => {}
-        }
-    }
-
-    #[test]
-    fn simplify_term_preserves_semantics((_, pt) in arb_box_and_point(), t in arb_term()) {
-        let s = simplify_term(&t);
-        let a = eval_term(&t, &pt).unwrap();
-        let b = eval_term(&s, &pt).unwrap();
-        prop_assert_eq!(a, b, "simplify changed {} -> {}", t, s);
-    }
-
-    #[test]
-    fn simplify_formula_preserves_semantics((_, pt) in arb_box_and_point(), f in arb_formula()) {
-        let s = simplify_formula(&f);
-        let a = eval_formula(&f, &pt).unwrap();
-        let b = eval_formula(&s, &pt).unwrap();
-        prop_assert_eq!(a, b, "simplify changed {} -> {}", f, s);
-    }
-
-    #[test]
-    fn simplify_never_grows(t in arb_term()) {
-        prop_assert!(simplify_term(&t).size() <= t.size());
-    }
-
-    #[test]
-    fn solver_sat_models_are_certified(f in arb_formula()) {
-        let mut dom = BoxDomain::with_len(NVARS);
-        for i in 0..NVARS {
-            dom.set(VarId::from_index(i as usize), Interval::new(-10.0, 10.0));
-        }
-        let mut cfg = SolverConfig::default();
-        cfg.max_boxes = 2_000;
-        cfg.initial_samples = 64;
-        let mut s = Solver::new(cfg);
-        match s.solve(&f, &dom) {
-            Outcome::Sat(m) => {
-                prop_assert!(eval_formula(&f, m.values()).unwrap(),
-                    "uncertified model for {}", f);
-                // Model inside the box.
-                for (i, v) in m.values().iter().enumerate() {
-                    let x = v.to_f64();
-                    prop_assert!((-10.0..=10.0).contains(&x), "var {i} = {x} out of box");
-                }
+#[test]
+fn formula_verdict_sound() {
+    prop::check_with(
+        &cfg128(),
+        "formula_verdict_sound",
+        &zip2(arb_box_and_point(), arb_formula()),
+        |((dom, pt), f)| {
+            let exact = eval_formula(f, pt).expect("division-free formula");
+            match ieval_formula(f, dom) {
+                Tri::True => prop_assert!(exact, "Tri::True but point falsifies {f}"),
+                Tri::False => prop_assert!(!exact, "Tri::False but point satisfies {f}"),
+                Tri::Unknown => {}
             }
-            // Unsat / DeltaUnsat / Exhausted all acceptable for random formulas.
-            _ => {}
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn solver_unsat_is_sound(t in arb_term(), k in 1i64..50) {
-        // t - t + k > 2k is always false; solver must never claim Sat.
-        let f = t.clone().sub(t).add(Term::int(k)).gt(Term::int(2 * k));
+#[test]
+fn simplify_term_preserves_semantics() {
+    prop::check_with(
+        &cfg128(),
+        "simplify_term_preserves_semantics",
+        &zip2(arb_box_and_point(), arb_term()),
+        |((_, pt), t)| {
+            let s = simplify_term(t);
+            let a = eval_term(t, pt).unwrap();
+            let b = eval_term(&s, pt).unwrap();
+            prop_assert_eq!(a, b, "simplify changed {} -> {}", t, s);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn simplify_formula_preserves_semantics() {
+    prop::check_with(
+        &cfg128(),
+        "simplify_formula_preserves_semantics",
+        &zip2(arb_box_and_point(), arb_formula()),
+        |((_, pt), f)| {
+            let s = simplify_formula(f);
+            let a = eval_formula(f, pt).unwrap();
+            let b = eval_formula(&s, pt).unwrap();
+            prop_assert_eq!(a, b, "simplify changed {} -> {}", f, s);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn simplify_never_grows() {
+    prop::check_with(&cfg128(), "simplify_never_grows", &arb_term(), |t| {
+        prop_assert!(simplify_term(t).size() <= t.size());
+        Ok(())
+    });
+}
+
+#[test]
+fn solver_sat_models_are_certified() {
+    prop::check_with(&cfg128(), "solver_sat_models_are_certified", &arb_formula(), |f| {
         let mut dom = BoxDomain::with_len(NVARS);
         for i in 0..NVARS {
-            dom.set(VarId::from_index(i as usize), Interval::new(-5.0, 5.0));
+            dom.set(VarId::from_index(i), Interval::new(-10.0, 10.0));
         }
-        let mut cfg = SolverConfig::default();
-        cfg.max_boxes = 5_000;
-        cfg.initial_samples = 16;
+        let cfg = SolverConfig { max_boxes: 2_000, initial_samples: 64, ..SolverConfig::default() };
         let mut s = Solver::new(cfg);
-        let out = s.solve(&f, &dom);
-        prop_assert!(!matches!(out, Outcome::Sat(_)), "claimed sat for unsat formula");
+        // Unsat / DeltaUnsat / Exhausted are all acceptable for random
+        // formulas; only a Sat claim carries a certificate to check.
+        if let Outcome::Sat(m) = s.solve(f, &dom) {
+            prop_assert!(eval_formula(f, m.values()).unwrap(), "uncertified model for {}", f);
+            // Model inside the box.
+            for (i, v) in m.values().iter().enumerate() {
+                let x = v.to_f64();
+                prop_assert!((-10.0..=10.0).contains(&x), "var {i} = {x} out of box");
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn solver_unsat_is_sound() {
+    prop::check_with(
+        &cfg128(),
+        "solver_unsat_is_sound",
+        &zip2(arb_term(), int_in(1, 49)),
+        |(t, k)| {
+            // t - t + k > 2k is always false; solver must never claim Sat.
+            let f = t.clone().sub(t.clone()).add(Term::int(*k)).gt(Term::int(2 * k));
+            let mut dom = BoxDomain::with_len(NVARS);
+            for i in 0..NVARS {
+                dom.set(VarId::from_index(i), Interval::new(-5.0, 5.0));
+            }
+            let cfg =
+                SolverConfig { max_boxes: 5_000, initial_samples: 16, ..SolverConfig::default() };
+            let mut s = Solver::new(cfg);
+            let out = s.solve(&f, &dom);
+            prop_assert!(!matches!(out, Outcome::Sat(_)), "claimed sat for unsat formula");
+            Ok(())
+        },
+    );
+}
+
+/// Shrinking smoke test: force a failure on a structural property and
+/// check the harness hands back a *minimal* term, not the first random
+/// counterexample. "Contains a Mul node" should shrink to a bare product
+/// of two leaves (size 3).
+#[test]
+fn shrinking_reaches_minimal_term() {
+    fn has_mul(t: &Term) -> bool {
+        t.size() >= 3 && format!("{t}").contains('*')
     }
+    let out = prop::check_result(&Config::default(), &arb_term(), &|t: &Term| {
+        if has_mul(t) {
+            Err(prop::CaseError::Fail(format!("found mul in {t}")))
+        } else {
+            Ok(())
+        }
+    });
+    let failure = out.expect_err("mul terms are reachable");
+    assert!(has_mul(&failure.value), "shrunk value still fails");
+    assert!(
+        failure.value.size() <= 3,
+        "minimal mul term has two leaf operands, got {} (size {})",
+        failure.value,
+        failure.value.size()
+    );
 }

@@ -94,8 +94,7 @@ impl Tableau {
                 let better = match &leaving {
                     None => true,
                     Some((lr, lratio)) => {
-                        ratio < *lratio
-                            || (ratio == *lratio && self.basis[r] < self.basis[*lr])
+                        ratio < *lratio || (ratio == *lratio && self.basis[r] < self.basis[*lr])
                     }
                 };
                 if better {
@@ -121,11 +120,7 @@ pub fn solve(lp: &LpProblem) -> LpOutcome {
     // double as the initial basis only when the row is `<=` with b >= 0 —
     // uniform artificials keep the code simple and exactness makes the cost
     // negligible at our sizes).
-    let n_slack = lp
-        .constraints
-        .iter()
-        .filter(|c| c.op != ConstraintOp::Eq)
-        .count();
+    let n_slack = lp.constraints.iter().filter(|c| c.op != ConstraintOp::Eq).count();
     let n_total = n + n_slack + m; // structural + slack + artificial
     let art_base = n + n_slack;
 
@@ -165,12 +160,8 @@ pub fn solve(lp: &LpProblem) -> LpOutcome {
     for r in 0..m {
         obj[art_base + r] = -Rat::one();
     }
-    let mut t = Tableau {
-        rows,
-        obj,
-        basis: (0..m).map(|r| art_base + r).collect(),
-        n_cols: n_total,
-    };
+    let mut t =
+        Tableau { rows, obj, basis: (0..m).map(|r| art_base + r).collect(), n_cols: n_total };
     // Price out the artificial basis (make reduced costs of basics zero).
     for r in 0..m {
         let factor = t.obj[t.basis[r]].clone();
@@ -350,14 +341,8 @@ mod tests {
         lp.set_objective_coeff(1, r(-150));
         lp.set_objective_coeff(2, rf(1, 50));
         lp.set_objective_coeff(3, r(-6));
-        lp.add_le(
-            vec![(0, rf(1, 4)), (1, r(-60)), (2, rf(-1, 25)), (3, r(9))],
-            r(0),
-        );
-        lp.add_le(
-            vec![(0, rf(1, 2)), (1, r(-90)), (2, rf(-1, 50)), (3, r(3))],
-            r(0),
-        );
+        lp.add_le(vec![(0, rf(1, 4)), (1, r(-60)), (2, rf(-1, 25)), (3, r(9))], r(0));
+        lp.add_le(vec![(0, rf(1, 2)), (1, r(-90)), (2, rf(-1, 50)), (3, r(3))], r(0));
         lp.add_le(vec![(2, r(1))], r(1));
         let sol = lp.solve().solution().cloned().expect("must terminate");
         assert_eq!(sol.objective, rf(1, 20));

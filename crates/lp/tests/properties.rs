@@ -8,7 +8,12 @@
 
 use cso_lp::{LpOutcome, LpProblem};
 use cso_numeric::Rat;
-use proptest::prelude::*;
+use cso_runtime::prop::{self, int_in, usize_in, vec_of, zip2, Config, Gen};
+use cso_runtime::{prop_assert, prop_assert_eq};
+
+fn cfg96() -> Config {
+    Config { cases: 96, ..Config::default() }
+}
 
 #[derive(Debug, Clone)]
 struct RandomLp {
@@ -17,14 +22,11 @@ struct RandomLp {
     rows: Vec<(Vec<i64>, i64)>, // coeffs (dense), rhs; all <=
 }
 
-fn arb_lp() -> impl Strategy<Value = RandomLp> {
-    (2usize..5).prop_flat_map(|n| {
-        let obj = prop::collection::vec(-5i64..=5, n);
-        let rows = prop::collection::vec(
-            (prop::collection::vec(0i64..=4, n), 1i64..=20),
-            1..5,
-        );
-        (Just(n), obj, rows).prop_map(|(n, obj, rows)| RandomLp { n, obj, rows })
+fn arb_lp() -> Gen<RandomLp> {
+    usize_in(2, 4).flat_map(|n| {
+        let obj = vec_of(int_in(-5, 5), n, n);
+        let rows = vec_of(zip2(vec_of(int_in(0, 4), n, n), int_in(1, 20)), 1, 4);
+        zip2(obj, rows).map(move |(obj, rows)| RandomLp { n, obj, rows })
     })
 }
 
@@ -34,11 +36,8 @@ fn build(lp: &RandomLp) -> LpProblem {
         p.set_objective_coeff(i, Rat::from_int(c));
     }
     for (coeffs, rhs) in &lp.rows {
-        let sparse: Vec<(usize, Rat)> = coeffs
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (i, Rat::from_int(c)))
-            .collect();
+        let sparse: Vec<(usize, Rat)> =
+            coeffs.iter().enumerate().map(|(i, &c)| (i, Rat::from_int(c))).collect();
         p.add_le(sparse, Rat::from_int(*rhs));
     }
     // Box the variables so everything is bounded: x_i <= 50.
@@ -69,60 +68,81 @@ fn objective(lp: &RandomLp, x: &[Rat]) -> Rat {
     acc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn solutions_are_feasible_and_consistent(spec in arb_lp()) {
-        let p = build(&spec);
+#[test]
+fn solutions_are_feasible_and_consistent() {
+    prop::check_with(&cfg96(), "solutions_are_feasible_and_consistent", &arb_lp(), |spec| {
+        let p = build(spec);
         match p.solve() {
             LpOutcome::Optimal(sol) => {
-                prop_assert!(feasible(&spec, &sol.values), "infeasible solution returned");
-                prop_assert_eq!(objective(&spec, &sol.values), sol.objective.clone(),
-                    "reported objective mismatch");
+                prop_assert!(feasible(spec, &sol.values), "infeasible solution returned");
+                prop_assert_eq!(
+                    objective(spec, &sol.values),
+                    sol.objective.clone(),
+                    "reported objective mismatch"
+                );
             }
             LpOutcome::Infeasible => {
                 // Origin is always feasible for <= with positive rhs.
                 let zeros = vec![Rat::zero(); spec.n];
-                prop_assert!(!feasible(&spec, &zeros), "claimed infeasible but origin feasible");
+                prop_assert!(!feasible(spec, &zeros), "claimed infeasible but origin feasible");
             }
             LpOutcome::Unbounded => {
                 // Impossible: variables are boxed at 50.
                 prop_assert!(false, "boxed LP cannot be unbounded");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn no_random_feasible_point_beats_optimum(
-        spec in arb_lp(),
-        samples in prop::collection::vec(prop::collection::vec(0i64..=50, 4), 8)
-    ) {
-        let p = build(&spec);
-        if let LpOutcome::Optimal(sol) = p.solve() {
-            for s in &samples {
-                let x: Vec<Rat> = (0..spec.n).map(|i| Rat::from_int(s[i % s.len()])).collect();
-                if feasible(&spec, &x) {
-                    prop_assert!(objective(&spec, &x) <= sol.objective,
-                        "random feasible point beats 'optimal' solution");
+#[test]
+fn no_random_feasible_point_beats_optimum() {
+    let samples = vec_of(vec_of(int_in(0, 50), 4, 4), 8, 8);
+    prop::check_with(
+        &cfg96(),
+        "no_random_feasible_point_beats_optimum",
+        &zip2(arb_lp(), samples),
+        |(spec, samples)| {
+            let p = build(spec);
+            if let LpOutcome::Optimal(sol) = p.solve() {
+                for s in samples {
+                    let x: Vec<Rat> = (0..spec.n).map(|i| Rat::from_int(s[i % s.len()])).collect();
+                    if feasible(spec, &x) {
+                        prop_assert!(
+                            objective(spec, &x) <= sol.objective,
+                            "random feasible point beats 'optimal' solution"
+                        );
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn scaling_objective_scales_optimum(spec in arb_lp(), k in 1i64..5) {
-        let p = build(&spec);
-        let mut scaled_spec = spec.clone();
-        for c in &mut scaled_spec.obj { *c *= k; }
-        let q = build(&scaled_spec);
-        match (p.solve(), q.solve()) {
-            (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
-                prop_assert_eq!(&a.objective * &Rat::from_int(k), b.objective);
+#[test]
+fn scaling_objective_scales_optimum() {
+    prop::check_with(
+        &cfg96(),
+        "scaling_objective_scales_optimum",
+        &zip2(arb_lp(), int_in(1, 4)),
+        |(spec, k)| {
+            let k = *k;
+            let p = build(spec);
+            let mut scaled_spec = spec.clone();
+            for c in &mut scaled_spec.obj {
+                *c *= k;
             }
-            (x, y) => prop_assert_eq!(
-                std::mem::discriminant(&x), std::mem::discriminant(&y)
-            ),
-        }
-    }
+            let q = build(&scaled_spec);
+            match (p.solve(), q.solve()) {
+                (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+                    prop_assert_eq!(&a.objective * &Rat::from_int(k), b.objective);
+                }
+                (x, y) => {
+                    prop_assert_eq!(std::mem::discriminant(&x), std::mem::discriminant(&y));
+                }
+            }
+            Ok(())
+        },
+    );
 }

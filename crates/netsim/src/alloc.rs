@@ -109,8 +109,7 @@ impl Allocation {
         let mut per_tunnel = Vec::with_capacity(inst.flows.len());
         let mut per_flow = Vec::with_capacity(inst.flows.len());
         for (i, tunnels) in inst.tunnels.iter().enumerate() {
-            let xs: Vec<Rat> =
-                (0..tunnels.len()).map(|j| values[inst.var(i, j)].clone()).collect();
+            let xs: Vec<Rat> = (0..tunnels.len()).map(|j| values[inst.var(i, j)].clone()).collect();
             let mut b = Rat::zero();
             for x in &xs {
                 b += x;
@@ -178,14 +177,10 @@ impl Allocator {
     /// well-formed instances: `x = 0` is always feasible).
     pub fn allocate(&self, inst: &Instance) -> Result<Allocation, AllocError> {
         match self {
-            Allocator::MaxThroughput => {
-                solve_linear(inst, |_i, _j, _t| Rat::one(), &[])
+            Allocator::MaxThroughput => solve_linear(inst, |_i, _j, _t| Rat::one(), &[]),
+            Allocator::SwanEpsilon { epsilon } => {
+                solve_linear(inst, |_i, _j, t| Rat::one() - &(epsilon * &t.latency), &[])
             }
-            Allocator::SwanEpsilon { epsilon } => solve_linear(
-                inst,
-                |_i, _j, t| Rat::one() - &(epsilon * &t.latency),
-                &[],
-            ),
             Allocator::MaxMinFair => max_min_fair(inst, false),
             Allocator::WeightedMaxMin => max_min_fair(inst, true),
             Allocator::DannaBalance { q_t } => danna_balance(inst, q_t),
@@ -264,10 +259,10 @@ fn max_min_fair(inst: &Instance, weighted: bool) -> Result<Allocation, AllocErro
         let mut lp = LpProblem::maximize(t_var + 1);
         lp.set_objective_coeff(t_var, Rat::one());
         add_shared_constraints(inst, &mut lp);
-        for i in 0..n {
+        for (i, fr) in frozen.iter().enumerate() {
             let mut coeffs: Vec<(usize, Rat)> =
                 (0..inst.tunnels[i].len()).map(|j| (inst.var(i, j), Rat::one())).collect();
-            match &frozen[i] {
+            match fr {
                 Some(v) => {
                     lp.add_eq(coeffs, v.clone());
                 }
@@ -283,8 +278,8 @@ fn max_min_fair(inst: &Instance, weighted: bool) -> Result<Allocation, AllocErro
         }
         // t cannot exceed any unfrozen flow's demand / weight, otherwise
         // the demand cap makes the LP infeasible.
-        for i in 0..n {
-            if frozen[i].is_none() {
+        for (i, fr) in frozen.iter().enumerate() {
+            if fr.is_none() {
                 let w = if weighted { inst.flows[i].weight.clone() } else { Rat::one() };
                 lp.add_le(vec![(t_var, w)], inst.flows[i].demand.clone());
             }
@@ -314,18 +309,16 @@ fn max_min_fair(inst: &Instance, weighted: bool) -> Result<Allocation, AllocErro
                 probe.set_objective_coeff(inst.var(i, j), Rat::one());
             }
             add_shared_constraints(inst, &mut probe);
-            for k in 0..n {
+            for (k, fr_k) in frozen.iter().enumerate() {
                 if k == i {
                     continue;
                 }
-                let coeffs: Vec<(usize, Rat)> = (0..inst.tunnels[k].len())
-                    .map(|j| (inst.var(k, j), Rat::one()))
-                    .collect();
-                match &frozen[k] {
+                let coeffs: Vec<(usize, Rat)> =
+                    (0..inst.tunnels[k].len()).map(|j| (inst.var(k, j), Rat::one())).collect();
+                match fr_k {
                     Some(v) => probe.add_eq(coeffs, v.clone()),
                     None => {
-                        let wk =
-                            if weighted { inst.flows[k].weight.clone() } else { Rat::one() };
+                        let wk = if weighted { inst.flows[k].weight.clone() } else { Rat::one() };
                         let floor = (&wk * &t_star).min(inst.flows[k].demand.clone());
                         probe.add_ge(coeffs, floor);
                     }
@@ -344,10 +337,10 @@ fn max_min_fair(inst: &Instance, weighted: bool) -> Result<Allocation, AllocErro
         }
         if !froze_any {
             // Degenerate tie: freeze all remaining at their share.
-            for i in 0..n {
-                if frozen[i].is_none() {
+            for (i, fr) in frozen.iter_mut().enumerate() {
+                if fr.is_none() {
                     let w = if weighted { inst.flows[i].weight.clone() } else { Rat::one() };
-                    frozen[i] = Some((&w * &t_star).min(inst.flows[i].demand.clone()));
+                    *fr = Some((&w * &t_star).min(inst.flows[i].demand.clone()));
                 }
             }
         }
@@ -355,11 +348,8 @@ fn max_min_fair(inst: &Instance, weighted: bool) -> Result<Allocation, AllocErro
 
     // Final pass: fix all b_i and recover tunnel splits minimizing latency
     // (a tidy, deterministic completion).
-    let extra: Vec<(usize, Rat, bool)> = frozen
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (i, v.expect("all frozen"), true))
-        .collect();
+    let extra: Vec<(usize, Rat, bool)> =
+        frozen.into_iter().enumerate().map(|(i, v)| (i, v.expect("all frozen"), true)).collect();
     solve_linear(inst, |_i, _j, t| Rat::zero() - &(&t.latency / &Rat::from_int(1000)), &extra)
 }
 
@@ -426,9 +416,8 @@ fn proportional_fair(inst: &Instance, segments: usize) -> Result<Allocation, All
                 intercept = &intercept + &(Rat::one() - &(pp / &p));
             }
             // u_i <= b_i / p + intercept  =>  u_i - b_i/p <= intercept
-            let mut coeffs: Vec<(usize, Rat)> = (0..inst.tunnels[i].len())
-                .map(|j| (inst.var(i, j), -p.recip()))
-                .collect();
+            let mut coeffs: Vec<(usize, Rat)> =
+                (0..inst.tunnels[i].len()).map(|j| (inst.var(i, j), -p.recip())).collect();
             coeffs.push((u_base + i, Rat::one()));
             lp.add_le(coeffs, intercept.clone());
             prev_p = Some(p);
@@ -482,9 +471,7 @@ mod tests {
         let inst = two_flow_instance();
         // With a harsh latency penalty (eps = 1/20, so the 60 ms path costs
         // 3 > 1 gain), only the 10 ms direct path (capacity 2) is used.
-        let a = Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 20) }
-            .allocate(&inst)
-            .unwrap();
+        let a = Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 20) }.allocate(&inst).unwrap();
         assert_eq!(a.total(), r(2));
         // And every used tunnel is the direct one.
         for (i, xs) in a.per_tunnel.iter().enumerate() {
@@ -570,11 +557,9 @@ mod tests {
         // here because (2, 10) is simultaneously throughput-optimal.
         assert_eq!(a.per_flow[0], r(2));
         // Relaxed q_t keeps at least the fair floor.
-        let b = Allocator::DannaBalance { q_t: Rat::from_frac(1, 2) }
-            .allocate(&inst)
-            .unwrap();
+        let b = Allocator::DannaBalance { q_t: Rat::from_frac(1, 2) }.allocate(&inst).unwrap();
         assert!(b.per_flow[0] >= r(2));
-        assert!(&b.total() >= &r(6));
+        assert!(b.total() >= r(6));
     }
 
     #[test]

@@ -78,24 +78,15 @@ mod tests {
     #[test]
     fn default_weights_decrease_with_priority() {
         assert!(
-            TrafficClass::Interactive.default_weight()
-                > TrafficClass::Elastic.default_weight()
+            TrafficClass::Interactive.default_weight() > TrafficClass::Elastic.default_weight()
         );
-        assert!(
-            TrafficClass::Elastic.default_weight()
-                > TrafficClass::Background.default_weight()
-        );
+        assert!(TrafficClass::Elastic.default_weight() > TrafficClass::Background.default_weight());
     }
 
     #[test]
     fn flow_builder() {
-        let f = FlowSpec::new(
-            NodeId(0),
-            NodeId(1),
-            Rat::from_int(3),
-            TrafficClass::Elastic,
-        )
-        .with_weight(Rat::from_int(7));
+        let f = FlowSpec::new(NodeId(0), NodeId(1), Rat::from_int(3), TrafficClass::Elastic)
+            .with_weight(Rat::from_int(7));
         assert_eq!(f.weight, Rat::from_int(7));
         assert_eq!(f.demand, Rat::from_int(3));
     }

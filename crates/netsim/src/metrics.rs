@@ -32,28 +32,13 @@ impl DesignMetrics {
                 weighted += &(x * &inst.tunnels[i][j].latency);
             }
         }
-        let avg_latency = if throughput.is_zero() {
-            Rat::zero()
-        } else {
-            &weighted / &throughput
-        };
-        let min_flow = alloc
-            .per_flow
-            .iter()
-            .cloned()
-            .min()
-            .unwrap_or_else(Rat::zero);
+        let avg_latency = if throughput.is_zero() { Rat::zero() } else { &weighted / &throughput };
+        let min_flow = alloc.per_flow.iter().cloned().min().unwrap_or_else(Rat::zero);
         let min_share = alloc
             .per_flow
             .iter()
             .zip(&inst.flows)
-            .map(|(b, f)| {
-                if f.demand.is_zero() {
-                    Rat::one()
-                } else {
-                    b / &f.demand
-                }
-            })
+            .map(|(b, f)| if f.demand.is_zero() { Rat::one() } else { b / &f.demand })
             .min()
             .unwrap_or_else(Rat::one);
         DesignMetrics { throughput, avg_latency, min_flow, min_share }
@@ -121,9 +106,8 @@ mod tests {
     #[test]
     fn latency_penalty_reduces_avg_latency() {
         let inst = instance();
-        let fast = Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 20) }
-            .allocate(&inst)
-            .unwrap();
+        let fast =
+            Allocator::SwanEpsilon { epsilon: Rat::from_frac(1, 20) }.allocate(&inst).unwrap();
         let mf = DesignMetrics::of(&inst, &fast);
         assert_eq!(mf.avg_latency, r(10), "only the 10 ms path is used");
         let full = Allocator::MaxThroughput.allocate(&inst).unwrap();

@@ -42,8 +42,7 @@ fn strict_priority(inst: &Instance) -> Result<Allocation, AllocError> {
     let mut frozen: Vec<Option<Rat>> = vec![None; n];
 
     for class in TrafficClass::all() {
-        let members: Vec<usize> =
-            (0..n).filter(|&i| inst.flows[i].class == class).collect();
+        let members: Vec<usize> = (0..n).filter(|&i| inst.flows[i].class == class).collect();
         if members.is_empty() {
             continue;
         }
@@ -73,9 +72,9 @@ fn max_min_fair_subset(
 ) -> Result<Allocation, AllocError> {
     let n = inst.flows.len();
     let mut fixed: Vec<Option<Rat>> = frozen.to_vec();
-    for i in 0..n {
-        if fixed[i].is_none() && !members.contains(&i) {
-            fixed[i] = Some(Rat::zero());
+    for (i, fx) in fixed.iter_mut().enumerate() {
+        if fx.is_none() && !members.contains(&i) {
+            *fx = Some(Rat::zero());
         }
     }
     // Progressive filling over the members.
@@ -93,10 +92,10 @@ fn max_min_fair_subset(
         let mut lp = LpProblem::maximize(t_var + 1);
         lp.set_objective_coeff(t_var, Rat::one());
         add_shared(inst, &mut lp);
-        for i in 0..n {
+        for (i, fr) in member_frozen.iter().enumerate() {
             let mut coeffs: Vec<(usize, Rat)> =
                 (0..inst.tunnels[i].len()).map(|j| (inst.var(i, j), Rat::one())).collect();
-            match &member_frozen[i] {
+            match fr {
                 Some(v) => lp.add_eq(coeffs, v.clone()),
                 None => {
                     coeffs.push((t_var, -Rat::one()));
@@ -125,14 +124,13 @@ fn max_min_fair_subset(
                 probe.set_objective_coeff(inst.var(i, j), Rat::one());
             }
             add_shared(inst, &mut probe);
-            for k in 0..n {
+            for (k, fr_k) in member_frozen.iter().enumerate() {
                 if k == i {
                     continue;
                 }
-                let coeffs: Vec<(usize, Rat)> = (0..inst.tunnels[k].len())
-                    .map(|j| (inst.var(k, j), Rat::one()))
-                    .collect();
-                match &member_frozen[k] {
+                let coeffs: Vec<(usize, Rat)> =
+                    (0..inst.tunnels[k].len()).map(|j| (inst.var(k, j), Rat::one())).collect();
+                match fr_k {
                     Some(v) => probe.add_eq(coeffs, v.clone()),
                     None => probe.add_ge(coeffs, t_star.clone().min(inst.flows[k].demand.clone())),
                 }
@@ -190,10 +188,7 @@ fn solve_fixed(inst: &Instance, extra: &[(usize, Rat, bool)]) -> Result<Allocati
     for (i, tunnels) in inst.tunnels.iter().enumerate() {
         for (j, t) in tunnels.iter().enumerate() {
             // Nudge toward low-latency splits without changing totals.
-            lp.set_objective_coeff(
-                inst.var(i, j),
-                -(&t.latency / &Rat::from_int(1000)),
-            );
+            lp.set_objective_coeff(inst.var(i, j), -(&t.latency / &Rat::from_int(1000)));
         }
     }
     add_shared(inst, &mut lp);

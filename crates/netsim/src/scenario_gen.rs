@@ -66,10 +66,10 @@ pub fn design_portfolio(inst: &Instance) -> Result<Vec<CandidateDesign>, AllocEr
 /// metrics; taking a closure keeps this crate independent of the sketch
 /// layer.
 #[must_use]
-pub fn pick_best<'a, S: Ord>(
-    designs: &'a [CandidateDesign],
+pub fn pick_best<S: Ord>(
+    designs: &[CandidateDesign],
     mut score: impl FnMut(&DesignMetrics) -> S,
-) -> Option<&'a CandidateDesign> {
+) -> Option<&CandidateDesign> {
     let mut best: Option<(&CandidateDesign, S)> = None;
     for d in designs {
         let s = score(&d.metrics);

@@ -45,10 +45,7 @@ impl Topology {
     /// # Panics
     /// Panics if the name is already taken.
     pub fn add_node(&mut self, name: &str) -> NodeId {
-        assert!(
-            !self.by_name.contains_key(name),
-            "duplicate node name {name:?}"
-        );
+        assert!(!self.by_name.contains_key(name), "duplicate node name {name:?}");
         let id = NodeId(self.names.len());
         self.names.push(name.to_owned());
         self.by_name.insert(name.to_owned(), id);
@@ -121,11 +118,7 @@ impl Topology {
 
     /// Outgoing links of a node.
     pub fn out_links(&self, n: NodeId) -> impl Iterator<Item = (LinkId, &Link)> {
-        self.links
-            .iter()
-            .enumerate()
-            .filter(move |(_, l)| l.from == n)
-            .map(|(i, l)| (LinkId(i), l))
+        self.links.iter().enumerate().filter(move |(_, l)| l.from == n).map(|(i, l)| (LinkId(i), l))
     }
 
     /// The classic SWAN-paper-style inter-datacenter WAN used in examples:
@@ -241,8 +234,8 @@ mod tests {
         let t = Topology::wan5();
         assert_eq!(t.node_count(), 6);
         assert_eq!(t.link_count(), 14); // 7 duplex pairs
-        // Every node is reachable from NY via some outgoing sequence (spot
-        // check degree instead of full BFS here; tunnels test reachability).
+                                        // Every node is reachable from NY via some outgoing sequence (spot
+                                        // check degree instead of full BFS here; tunnels test reachability).
         for n in 0..t.node_count() {
             assert!(t.out_links(NodeId(n)).count() >= 2, "node {n} underconnected");
         }

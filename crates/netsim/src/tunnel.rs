@@ -56,10 +56,7 @@ struct Frontier {
 impl Ord for Frontier {
     fn cmp(&self, other: &Frontier) -> std::cmp::Ordering {
         // Reverse for min-heap; tie-break on path for determinism.
-        other
-            .latency
-            .cmp(&self.latency)
-            .then_with(|| other.links.cmp(&self.links))
+        other.latency.cmp(&self.latency).then_with(|| other.links.cmp(&self.links))
     }
 }
 
@@ -97,18 +94,13 @@ pub fn k_shortest_tunnels(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -
         visits[f.node.0] += 1;
         for (lid, link) in topo.out_links(f.node) {
             // Loop-free: skip if the next node already appears on the path.
-            let revisits = link.to == src
-                || f.links.iter().any(|&l| topo.link(l).from == link.to);
+            let revisits = link.to == src || f.links.iter().any(|&l| topo.link(l).from == link.to);
             if revisits {
                 continue;
             }
             let mut links = f.links.clone();
             links.push(lid);
-            heap.push(Frontier {
-                latency: &f.latency + &link.latency,
-                node: link.to,
-                links,
-            });
+            heap.push(Frontier { latency: &f.latency + &link.latency, node: link.to, links });
         }
     }
     found

@@ -55,9 +55,9 @@ fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
+    for (i, &l) in long.iter().enumerate() {
         let s = short.get(i).copied().unwrap_or(0);
-        let (x, c1) = long[i].overflowing_add(s);
+        let (x, c1) = l.overflowing_add(s);
         let (x, c2) = x.overflowing_add(carry);
         carry = u64::from(c1) + u64::from(c2);
         out.push(x);
@@ -73,9 +73,9 @@ fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
     debug_assert!(mag_cmp(a, b) != Ordering::Less, "mag_sub underflow");
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0u64;
-    for i in 0..a.len() {
+    for (i, &av) in a.iter().enumerate() {
         let s = b.get(i).copied().unwrap_or(0);
-        let (x, b1) = a[i].overflowing_sub(s);
+        let (x, b1) = av.overflowing_sub(s);
         let (x, b2) = x.overflowing_sub(borrow);
         borrow = u64::from(b1) + u64::from(b2);
         out.push(x);
@@ -519,9 +519,7 @@ impl Add for &BigInt {
             (a, b) if a == b => BigInt::from_mag(a, mag_add(&self.mag, &rhs.mag)),
             _ => match mag_cmp(&self.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_mag(self.sign, mag_sub(&self.mag, &rhs.mag))
-                }
+                Ordering::Greater => BigInt::from_mag(self.sign, mag_sub(&self.mag, &rhs.mag)),
                 Ordering::Less => BigInt::from_mag(rhs.sign, mag_sub(&rhs.mag, &self.mag)),
             },
         }
@@ -737,8 +735,14 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
-        for s in ["0", "1", "-1", "18446744073709551616", "-340282366920938463463374607431768211456",
-                  "99999999999999999999999999999999999999999999"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999",
+        ] {
             assert_eq!(bi(s).to_string(), s);
         }
     }

@@ -66,8 +66,10 @@ impl Sign {
         }
     }
 
-    /// Product-of-signs rule.
+    /// Product-of-signs rule. An inherent method rather than `std::ops::Mul`
+    /// so sign algebra stays visually distinct from numeric multiplication.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,

@@ -82,11 +82,8 @@ impl Rat {
         let exp = ((bits >> 52) & 0x7ff) as i64;
         let frac = bits & ((1u64 << 52) - 1);
         // value = mant * 2^(e - 52), with implicit leading bit for normals.
-        let (mant, e) = if exp == 0 {
-            (frac, -1022i64 - 52)
-        } else {
-            (frac | (1u64 << 52), exp - 1023 - 52)
-        };
+        let (mant, e) =
+            if exp == 0 { (frac, -1022i64 - 52) } else { (frac | (1u64 << 52), exp - 1023 - 52) };
         let m = BigInt::from(mant);
         let m = if neg { -m } else { m };
         let r = if e >= 0 {

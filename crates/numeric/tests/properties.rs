@@ -5,192 +5,279 @@
 //! `BigInt`, and soundness (containment) for `Interval`.
 
 use cso_numeric::{BigInt, Interval, Rat};
-use proptest::prelude::*;
+use cso_runtime::prop::{
+    self, f64_in, i128_any, i64_any, int_in, one_of, u8_any, zip2, zip3, zip4, Gen,
+};
+use cso_runtime::{prop_assert, prop_assert_eq, prop_assume};
 
-fn arb_bigint() -> impl Strategy<Value = BigInt> {
+fn arb_bigint() -> Gen<BigInt> {
     // Mix small values with products of large factors to stress multi-limb paths.
-    prop_oneof![
-        any::<i64>().prop_map(BigInt::from),
-        (any::<i128>(), any::<i64>())
-            .prop_map(|(a, b)| &BigInt::from(a) * &BigInt::from(b)),
-        (any::<i128>(), any::<i128>(), any::<u8>()).prop_map(|(a, b, s)| {
-            (&BigInt::from(a) * &BigInt::from(b)).shl(u64::from(s % 64))
-        }),
-    ]
+    one_of(vec![
+        i64_any().map(BigInt::from),
+        zip2(i128_any(), i64_any()).map(|(a, b)| &BigInt::from(a) * &BigInt::from(b)),
+        zip3(i128_any(), i128_any(), u8_any())
+            .map(|(a, b, s)| (&BigInt::from(a) * &BigInt::from(b)).shl(u64::from(s % 64))),
+    ])
 }
 
-fn arb_rat() -> impl Strategy<Value = Rat> {
-    (any::<i64>(), 1i64..=i64::MAX)
-        .prop_map(|(p, q)| Rat::new(BigInt::from(p), BigInt::from(q)))
+fn arb_rat() -> Gen<Rat> {
+    zip2(i64_any(), int_in(1, i64::MAX)).map(|(p, q)| Rat::new(BigInt::from(p), BigInt::from(q)))
 }
 
-fn arb_interval() -> impl Strategy<Value = Interval> {
-    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(a, b)| {
-        Interval::new(a.min(b), a.max(b))
-    })
+fn arb_interval() -> Gen<Interval> {
+    zip2(f64_in(-1e6, 1e6), f64_in(-1e6, 1e6)).map(|(a, b)| Interval::new(a.min(b), a.max(b)))
 }
 
-proptest! {
-    #[test]
-    fn bigint_add_commutes(a in arb_bigint(), b in arb_bigint()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-    }
+#[test]
+fn bigint_add_commutes() {
+    prop::check("bigint_add_commutes", &zip2(arb_bigint(), arb_bigint()), |(a, b)| {
+        prop_assert_eq!(a + b, b + a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigint_add_associates(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-    }
+#[test]
+fn bigint_add_associates() {
+    prop::check(
+        "bigint_add_associates",
+        &zip3(arb_bigint(), arb_bigint(), arb_bigint()),
+        |(a, b, c)| {
+            prop_assert_eq!(&(a + b) + c, a + &(b + c));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bigint_mul_distributes(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
+#[test]
+fn bigint_mul_distributes() {
+    prop::check(
+        "bigint_mul_distributes",
+        &zip3(arb_bigint(), arb_bigint(), arb_bigint()),
+        |(a, b, c)| {
+            prop_assert_eq!(a * &(b + c), &(a * b) + &(a * c));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bigint_sub_inverse(a in arb_bigint(), b in arb_bigint()) {
-        prop_assert_eq!(&(&a + &b) - &b, a);
-    }
+#[test]
+fn bigint_sub_inverse() {
+    prop::check("bigint_sub_inverse", &zip2(arb_bigint(), arb_bigint()), |(a, b)| {
+        prop_assert_eq!(&(a + b) - b, a.clone());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigint_divrem_identity(a in arb_bigint(), b in arb_bigint()) {
+#[test]
+fn bigint_divrem_identity() {
+    prop::check("bigint_divrem_identity", &zip2(arb_bigint(), arb_bigint()), |(a, b)| {
         prop_assume!(!b.is_zero());
-        let (q, r) = a.div_rem(&b);
-        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        let (q, r) = a.div_rem(b);
+        prop_assert_eq!(&(&q * b) + &r, a.clone());
         prop_assert!(r.abs() < b.abs());
         // Remainder sign matches dividend (truncated division).
         prop_assert!(r.is_zero() || r.sign() == a.sign());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigint_parse_roundtrip(a in arb_bigint()) {
+#[test]
+fn bigint_parse_roundtrip() {
+    prop::check("bigint_parse_roundtrip", &arb_bigint(), |a| {
         let s = a.to_string();
         let back: BigInt = s.parse().unwrap();
-        prop_assert_eq!(back, a);
-    }
+        prop_assert_eq!(back, a.clone());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigint_gcd_divides_both(a in arb_bigint(), b in arb_bigint()) {
+#[test]
+fn bigint_gcd_divides_both() {
+    prop::check("bigint_gcd_divides_both", &zip2(arb_bigint(), arb_bigint()), |(a, b)| {
         prop_assume!(!a.is_zero() || !b.is_zero());
-        let g = a.gcd(&b);
+        let g = a.gcd(b);
         prop_assert!(!g.is_zero());
-        prop_assert!((&a % &g).is_zero());
-        prop_assert!((&b % &g).is_zero());
-    }
+        prop_assert!((a % &g).is_zero());
+        prop_assert!((b % &g).is_zero());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigint_shift_roundtrip(a in arb_bigint(), s in 0u64..200) {
-        prop_assert_eq!(a.shl(s).shr(s), a);
-    }
+#[test]
+fn bigint_shift_roundtrip() {
+    prop::check("bigint_shift_roundtrip", &zip2(arb_bigint(), int_in(0, 199)), |(a, s)| {
+        let s = *s as u64;
+        prop_assert_eq!(a.shl(s).shr(s), a.clone());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigint_ordering_consistent_with_sub(a in arb_bigint(), b in arb_bigint()) {
-        let d = &a - &b;
-        prop_assert_eq!(a.cmp(&b), d.cmp(&BigInt::zero()));
-    }
+#[test]
+fn bigint_ordering_consistent_with_sub() {
+    prop::check(
+        "bigint_ordering_consistent_with_sub",
+        &zip2(arb_bigint(), arb_bigint()),
+        |(a, b)| {
+            let d = a - b;
+            prop_assert_eq!(a.cmp(b), d.cmp(&BigInt::zero()));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn rat_field_add_commutes(a in arb_rat(), b in arb_rat()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-    }
+#[test]
+fn rat_field_add_commutes() {
+    prop::check("rat_field_add_commutes", &zip2(arb_rat(), arb_rat()), |(a, b)| {
+        prop_assert_eq!(a + b, b + a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rat_mul_associates(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-    }
+#[test]
+fn rat_mul_associates() {
+    prop::check("rat_mul_associates", &zip3(arb_rat(), arb_rat(), arb_rat()), |(a, b, c)| {
+        prop_assert_eq!(&(a * b) * c, a * &(b * c));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rat_distributive(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
+#[test]
+fn rat_distributive() {
+    prop::check("rat_distributive", &zip3(arb_rat(), arb_rat(), arb_rat()), |(a, b, c)| {
+        prop_assert_eq!(a * &(b + c), &(a * b) + &(a * c));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rat_div_inverse(a in arb_rat(), b in arb_rat()) {
+#[test]
+fn rat_div_inverse() {
+    prop::check("rat_div_inverse", &zip2(arb_rat(), arb_rat()), |(a, b)| {
         prop_assume!(!b.is_zero());
-        prop_assert_eq!(&(&a / &b) * &b, a);
-    }
+        prop_assert_eq!(&(a / b) * b, a.clone());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rat_normalized(a in arb_rat()) {
+#[test]
+fn rat_normalized() {
+    prop::check("rat_normalized", &arb_rat(), |a| {
         prop_assert!(a.denom().is_positive());
         prop_assert!(a.numer().gcd(a.denom()).is_one() || a.is_zero());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rat_ordering_total(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+#[test]
+fn rat_ordering_total() {
+    prop::check("rat_ordering_total", &zip3(arb_rat(), arb_rat(), arb_rat()), |abc| {
         // Transitivity spot-check.
-        let mut v = [a, b, c];
+        let mut v = [abc.0.clone(), abc.1.clone(), abc.2.clone()];
         v.sort();
         prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rat_f64_roundtrip_is_exact(x in -1e12f64..1e12) {
+#[test]
+fn rat_f64_roundtrip_is_exact() {
+    prop::check("rat_f64_roundtrip_is_exact", &f64_in(-1e12, 1e12), |&x| {
         let r = Rat::from_f64(x).unwrap();
         prop_assert_eq!(r.to_f64(), x);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rat_floor_le_ceil(a in arb_rat()) {
+#[test]
+fn rat_floor_le_ceil() {
+    prop::check("rat_floor_le_ceil", &arb_rat(), |a| {
         let f = Rat::from(a.floor());
         let c = Rat::from(a.ceil());
-        prop_assert!(f <= a && a <= c);
+        prop_assert!(&f <= a && a <= &c);
         prop_assert!(&c - &f <= Rat::one());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interval_add_sound(i in arb_interval(), j in arb_interval(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
+/// `(interval, interval, point-in-first, point-in-second)` for soundness
+/// checks of the interval operations.
+fn arb_two_intervals_with_points() -> Gen<(Interval, Interval, f64, f64)> {
+    zip4(arb_interval(), arb_interval(), f64_in(0.0, 1.0), f64_in(0.0, 1.0)).map(|(i, j, t, u)| {
         let x = i.lo() + t * (i.hi() - i.lo());
         let y = j.lo() + u * (j.hi() - j.lo());
+        (i, j, x, y)
+    })
+}
+
+#[test]
+fn interval_add_sound() {
+    prop::check("interval_add_sound", &arb_two_intervals_with_points(), |&(i, j, x, y)| {
         prop_assert!((i + j).contains_f64(x + y));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interval_mul_sound(i in arb_interval(), j in arb_interval(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
-        let x = i.lo() + t * (i.hi() - i.lo());
-        let y = j.lo() + u * (j.hi() - j.lo());
+#[test]
+fn interval_mul_sound() {
+    prop::check("interval_mul_sound", &arb_two_intervals_with_points(), |&(i, j, x, y)| {
         prop_assert!((i * j).contains_f64(x * y));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interval_div_sound(i in arb_interval(), j in arb_interval(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
-        let x = i.lo() + t * (i.hi() - i.lo());
-        let y = j.lo() + u * (j.hi() - j.lo());
+#[test]
+fn interval_div_sound() {
+    prop::check("interval_div_sound", &arb_two_intervals_with_points(), |&(i, j, x, y)| {
         prop_assume!(y != 0.0);
         prop_assert!((i / j).contains_f64(x / y));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interval_sub_sound(i in arb_interval(), j in arb_interval(), t in 0.0f64..1.0, u in 0.0f64..1.0) {
-        let x = i.lo() + t * (i.hi() - i.lo());
-        let y = j.lo() + u * (j.hi() - j.lo());
+#[test]
+fn interval_sub_sound() {
+    prop::check("interval_sub_sound", &arb_two_intervals_with_points(), |&(i, j, x, y)| {
         prop_assert!((i - j).contains_f64(x - y));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interval_bisect_partitions(i in arb_interval()) {
+#[test]
+fn interval_bisect_partitions() {
+    prop::check("interval_bisect_partitions", &arb_interval(), |&i| {
         let (l, r) = i.bisect();
         prop_assert_eq!(l.lo(), i.lo());
         prop_assert_eq!(r.hi(), i.hi());
         prop_assert_eq!(l.hi(), r.lo());
         prop_assert!(i.contains(&l) && i.contains(&r));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interval_intersect_commutes(i in arb_interval(), j in arb_interval()) {
+#[test]
+fn interval_intersect_commutes() {
+    prop::check("interval_intersect_commutes", &zip2(arb_interval(), arb_interval()), |&(i, j)| {
         prop_assert_eq!(i.intersect(&j), j.intersect(&i));
         if let Some(k) = i.intersect(&j) {
             prop_assert!(i.contains(&k) && j.contains(&k));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rat_from_f64_matches_interval(x in -1e9f64..1e9, y in -1e9f64..1e9) {
-        // Exact rational arithmetic must land inside the outward-rounded
-        // interval product: the agreement contract between the two layers.
-        let rx = Rat::from_f64(x).unwrap();
-        let ry = Rat::from_f64(y).unwrap();
-        let exact = (&rx * &ry).to_f64();
-        let iv = Interval::point(x) * Interval::point(y);
-        prop_assert!(iv.contains_f64(exact));
-    }
+#[test]
+fn rat_from_f64_matches_interval() {
+    prop::check(
+        "rat_from_f64_matches_interval",
+        &zip2(f64_in(-1e9, 1e9), f64_in(-1e9, 1e9)),
+        |&(x, y)| {
+            // Exact rational arithmetic must land inside the outward-rounded
+            // interval product: the agreement contract between the two layers.
+            let rx = Rat::from_f64(x).unwrap();
+            let ry = Rat::from_f64(y).unwrap();
+            let exact = (&rx * &ry).to_f64();
+            let iv = Interval::point(x) * Interval::point(y);
+            prop_assert!(iv.contains_f64(exact));
+            Ok(())
+        },
+    );
 }

@@ -23,7 +23,9 @@ pub fn repair<S>(g: &mut PrefGraph<S>) -> Vec<EdgeId> {
             .min_by(|&a, &b| {
                 let ca = g.all_edges()[a.index()].confidence;
                 let cb = g.all_edges()[b.index()].confidence;
-                ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal).then(a.index().cmp(&b.index()))
+                ca.partial_cmp(&cb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.index().cmp(&b.index()))
             })
             .expect("cycle is non-empty");
         g.remove_edge(victim);
@@ -43,9 +45,7 @@ pub fn suspect_fraction<S>(g: &PrefGraph<S>, threshold: f64) -> f64 {
     }
     let mut suspect = 0usize;
     for e in &active {
-        let reversed = active
-            .iter()
-            .any(|f| f.preferred == e.other && f.other == e.preferred);
+        let reversed = active.iter().any(|f| f.preferred == e.other && f.other == e.preferred);
         if reversed || e.confidence < threshold {
             suspect += 1;
         }

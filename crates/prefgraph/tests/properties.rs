@@ -1,25 +1,25 @@
 //! Property-based tests for the preference graph.
 
 use cso_prefgraph::{closure, noise, PrefGraph};
-use proptest::prelude::*;
+use cso_runtime::prop::{self, bool_any, usize_in, vec_of, zip3, Gen};
+use cso_runtime::{prop_assert, prop_assert_eq};
 
 /// A random edge script over `n` scenarios: (from, to, checked).
-fn arb_script() -> impl Strategy<Value = (usize, Vec<(usize, usize, bool)>)> {
-    (3usize..8).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            ((0..n), (0..n), any::<bool>()),
-            0..20,
-        );
-        (Just(n), edges)
+type Script = (usize, Vec<(usize, usize, bool)>);
+
+fn arb_script() -> Gen<Script> {
+    usize_in(3, 7).flat_map(|n| {
+        vec_of(zip3(usize_in(0, n - 1), usize_in(0, n - 1), bool_any()), 0, 19)
+            .map(move |edges| (n, edges))
     })
 }
 
-proptest! {
-    #[test]
-    fn checked_insertion_keeps_graph_acyclic((n, script) in arb_script()) {
+#[test]
+fn checked_insertion_keeps_graph_acyclic() {
+    prop::check("checked_insertion_keeps_graph_acyclic", &arb_script(), |(n, script)| {
         let mut g = PrefGraph::new();
-        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
-        for (a, b, _) in script {
+        let ids: Vec<_> = (0..*n).map(|i| g.add_scenario(i)).collect();
+        for &(a, b, _) in script {
             if a != b {
                 // Errors are fine; panics or cycles are not.
                 let _ = g.prefer(ids[a], ids[b]);
@@ -27,15 +27,18 @@ proptest! {
         }
         prop_assert!(g.is_consistent());
         prop_assert!(closure::topo_order(&g).is_some());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn repair_always_restores_consistency((n, script) in arb_script()) {
+#[test]
+fn repair_always_restores_consistency() {
+    prop::check("repair_always_restores_consistency", &arb_script(), |(n, script)| {
         let mut g = PrefGraph::new();
-        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
-        for (i, (a, b, _)) in script.iter().enumerate() {
+        let ids: Vec<_> = (0..*n).map(|i| g.add_scenario(i)).collect();
+        for (i, &(a, b, _)) in script.iter().enumerate() {
             if a != b {
-                g.prefer_unchecked(ids[*a], ids[*b], 0.1 + 0.05 * (i % 10) as f64);
+                g.prefer_unchecked(ids[a], ids[b], 0.1 + 0.05 * (i % 10) as f64);
             }
         }
         let removed = noise::repair(&mut g);
@@ -44,13 +47,16 @@ proptest! {
         prop_assert!(removed.len() <= g.all_edges().len());
         // Repair is idempotent.
         prop_assert!(noise::repair(&mut g).is_empty());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reachability_is_transitive((n, script) in arb_script()) {
+#[test]
+fn reachability_is_transitive() {
+    prop::check("reachability_is_transitive", &arb_script(), |(n, script)| {
         let mut g = PrefGraph::new();
-        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
-        for (a, b, _) in script {
+        let ids: Vec<_> = (0..*n).map(|i| g.add_scenario(i)).collect();
+        for &(a, b, _) in script {
             if a != b {
                 let _ = g.prefer(ids[a], ids[b]);
             }
@@ -64,13 +70,16 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reaches_is_antisymmetric_on_dags((n, script) in arb_script()) {
+#[test]
+fn reaches_is_antisymmetric_on_dags() {
+    prop::check("reaches_is_antisymmetric_on_dags", &arb_script(), |(n, script)| {
         let mut g = PrefGraph::new();
-        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
-        for (a, b, _) in script {
+        let ids: Vec<_> = (0..*n).map(|i| g.add_scenario(i)).collect();
+        for &(a, b, _) in script {
             if a != b {
                 let _ = g.prefer(ids[a], ids[b]);
             }
@@ -83,13 +92,16 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn indifference_is_an_equivalence((n, script) in arb_script()) {
+#[test]
+fn indifference_is_an_equivalence() {
+    prop::check("indifference_is_an_equivalence", &arb_script(), |(n, script)| {
         let mut g = PrefGraph::new();
-        let ids: Vec<_> = (0..n).map(|i| g.add_scenario(i)).collect();
-        for (a, b, checked) in script {
+        let ids: Vec<_> = (0..*n).map(|i| g.add_scenario(i)).collect();
+        for &(a, b, checked) in script {
             if a == b {
                 continue;
             }
@@ -119,5 +131,6 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
 }

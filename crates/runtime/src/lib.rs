@@ -1,0 +1,28 @@
+//! Zero-dependency runtime substrate for the compsynth workspace.
+//!
+//! Every crate in the workspace builds on these four modules instead of
+//! external crates, which keeps the whole workspace hermetic (no registry
+//! access needed, ever) and — more importantly for a randomized synthesis
+//! loop — *deterministic by construction*: all randomness flows through
+//! [`rng::Rng`], whose stream is fixed by a caller-provided seed.
+//!
+//! * [`rng`] — seedable xoshiro256++ PRNG with range sampling, slice
+//!   helpers, and cheap stream forking (replaces `rand`).
+//! * [`pool`] — scoped parallel map over `std::thread::scope` with chunked
+//!   work distribution and panic propagation (replaces `crossbeam`).
+//! * [`bench`] — a minimal benchmark harness: warmup, timed samples,
+//!   median/MAD/SIQR reporting and optional CSV emission (replaces
+//!   `criterion`).
+//! * [`prop`] — property testing with generator combinators, fixed-seed
+//!   case generation, choice-stream shrinking and failure-seed reporting
+//!   (replaces `proptest`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod pool;
+pub mod prop;
+pub mod rng;
+
+pub use rng::Rng;

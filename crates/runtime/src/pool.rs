@@ -1,0 +1,135 @@
+//! Scoped parallel map over `std::thread::scope`.
+//!
+//! The repro harness runs 9 independent synthesis runs per configuration
+//! (Table 1, Figures 3–5); each run is seconds of CPU-bound exact
+//! arithmetic, so chunked distribution over OS threads is all the
+//! parallelism the workload needs. Work is split into at most
+//! `max_threads` contiguous chunks (one thread per chunk), results come
+//! back in input order, and a panic in any worker is propagated to the
+//! caller after the scope joins — never swallowed.
+
+use std::panic::resume_unwind;
+
+/// Number of worker threads the host offers (≥ 1).
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Apply `f` to every item, distributing contiguous chunks over at most
+/// `max_threads` scoped threads. Results are returned in input order.
+///
+/// With `max_threads <= 1` (or a single item) the map runs on the calling
+/// thread — the degenerate case costs nothing and keeps single-core hosts
+/// honest.
+///
+/// # Panics
+/// Re-raises the payload of the first panicking worker.
+pub fn scoped_map<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads.min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect::<Vec<_>>()
+    });
+    for r in results {
+        match r {
+            Ok(mut part) => out.append(&mut part),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// [`scoped_map`] over all available threads.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    scoped_map(items, available_threads(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn maps_in_order() {
+        let out = scoped_map((0..100).collect(), 7, |x: i64| x * x);
+        let expect: Vec<i64> = (0..100).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let a = scoped_map((0..10).collect(), 1, |x: i64| x + 1);
+        let b = scoped_map((0..10).collect(), 4, |x: i64| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i64> = scoped_map(Vec::<i64>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = scoped_map(vec![1, 2], 64, |x: i64| -x);
+        assert_eq!(out, vec![-1, -2]);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        // Not a strict guarantee, but with 4 chunks at least 2 distinct
+        // worker identities should appear on a multi-core host.
+        if available_threads() < 2 {
+            return;
+        }
+        let seen = AtomicUsize::new(0);
+        let _ = scoped_map((0..64).collect(), 4, |_: i64| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            std::thread::current().id()
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            scoped_map((0..8).collect(), 4, |x: i64| {
+                assert!(x != 5, "boom at {x}");
+                x
+            })
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+}

@@ -1,0 +1,769 @@
+//! Property-based testing with integrated shrinking.
+//!
+//! Replaces `proptest` for this workspace. The design follows the
+//! Hypothesis school rather than the QuickCheck one: a generator is a
+//! function from a *choice source* to a value, every random decision is
+//! recorded as a `u64`, and shrinking mutates the recorded choice stream
+//! (deleting chunks, minimizing values) and re-runs the generator.
+//! Because any stream decodes to *some* valid value, shrinkers compose
+//! through `map`/`flat_map`/recursion for free — no per-type shrink
+//! logic.
+//!
+//! ```
+//! use cso_runtime::prop::{self, Config};
+//! use cso_runtime::prop_assert;
+//!
+//! let gen = prop::int_in(0, 1000).map(|x| x * 2);
+//! prop::check("doubles_are_even", &gen, |&x| {
+//!     prop_assert!(x % 2 == 0, "odd double {x}");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Failures panic with the minimal counterexample, the case seed, and a
+//! reproduction hint; `CSO_PROP_SEED` replays a specific case seed and
+//! `CSO_PROP_CASES` overrides the case count.
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------- source --
+
+/// A source of recorded choices: random when exploring, replayed when
+/// shrinking.
+pub struct Source {
+    rng: Option<Rng>,
+    replay: Vec<u64>,
+    pos: usize,
+    record: Vec<u64>,
+}
+
+impl Source {
+    fn random(rng: Rng) -> Source {
+        Source { rng: Some(rng), replay: Vec::new(), pos: 0, record: Vec::new() }
+    }
+
+    fn replaying(data: Vec<u64>) -> Source {
+        Source { rng: None, replay: data, pos: 0, record: Vec::new() }
+    }
+
+    /// Draw a choice in `[0, bound)`; `bound == 0` means the full `u64`
+    /// range. Replay past the end of the recorded stream yields zeros
+    /// (the "simplest" choice), so truncated streams always decode.
+    pub fn draw(&mut self, bound: u64) -> u64 {
+        let v = match &mut self.rng {
+            Some(rng) => {
+                if bound == 0 {
+                    rng.next_u64()
+                } else {
+                    rng.next_below(bound)
+                }
+            }
+            None => {
+                let raw = self.replay.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                if bound == 0 {
+                    raw
+                } else {
+                    raw % bound
+                }
+            }
+        };
+        self.record.push(v);
+        v
+    }
+}
+
+// ------------------------------------------------------------ generators --
+
+/// A composable generator of `T`.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Source) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Gen<T> {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wrap a raw decoding function.
+    pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Gen<T> {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Run the generator against a source.
+    pub fn generate(&self, src: &mut Source) -> T {
+        (self.f)(src)
+    }
+
+    /// Transform generated values.
+    pub fn map<U: 'static>(self, g: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |src| g(self.generate(src)))
+    }
+
+    /// Generate a value, then a dependent generator from it.
+    pub fn flat_map<U: 'static>(self, g: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        Gen::new(move |src| g(self.generate(src)).generate(src))
+    }
+}
+
+/// Always the same value.
+pub fn just<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| value.clone())
+}
+
+/// Uniform integer in `[lo, hi]` (shrinks toward `lo`).
+///
+/// # Panics
+/// Panics if `lo > hi`.
+pub fn int_in(lo: i64, hi: i64) -> Gen<i64> {
+    assert!(lo <= hi, "int_in: empty range");
+    let width = hi.wrapping_sub(lo) as u64;
+    Gen::new(move |src| {
+        if width == u64::MAX {
+            return zigzag_i64(src.draw(0));
+        }
+        lo.wrapping_add(src.draw(width.wrapping_add(1)) as i64)
+    })
+}
+
+/// Uniform `usize` in `[lo, hi]` (shrinks toward `lo`).
+pub fn usize_in(lo: usize, hi: usize) -> Gen<usize> {
+    int_in(lo as i64, hi as i64).map(|v| v as usize)
+}
+
+/// Uniform `u64` in `[lo, hi]` (shrinks toward `lo`).
+pub fn u64_in(lo: u64, hi: u64) -> Gen<u64> {
+    assert!(lo <= hi, "u64_in: empty range");
+    let width = hi - lo;
+    Gen::new(move |src| {
+        if width == u64::MAX {
+            lo.wrapping_add(src.draw(0))
+        } else {
+            lo + src.draw(width + 1)
+        }
+    })
+}
+
+fn zigzag_i64(k: u64) -> i64 {
+    // 0, -1, 1, -2, 2, ... — small draws decode to small magnitudes.
+    let half = (k >> 1) as i64;
+    if k & 1 == 0 {
+        half
+    } else {
+        -half - 1
+    }
+}
+
+/// Any `i64`, zigzag-coded so shrinking moves toward 0.
+pub fn i64_any() -> Gen<i64> {
+    Gen::new(|src| zigzag_i64(src.draw(0)))
+}
+
+/// Any `i128` (two draws), shrinking toward 0.
+pub fn i128_any() -> Gen<i128> {
+    Gen::new(|src| {
+        let hi = src.draw(0) as u128;
+        let lo = src.draw(0) as u128;
+        let k = (hi << 64) | lo;
+        let half = (k >> 1) as i128;
+        if k & 1 == 0 {
+            half
+        } else {
+            -half - 1
+        }
+    })
+}
+
+/// Any `u8`.
+pub fn u8_any() -> Gen<u8> {
+    Gen::new(|src| src.draw(256) as u8)
+}
+
+/// Fair coin.
+pub fn bool_any() -> Gen<bool> {
+    Gen::new(|src| src.draw(2) == 1)
+}
+
+/// Uniform `f64` in `[lo, hi)` (shrinks toward `lo`).
+///
+/// # Panics
+/// Panics if the range is empty or either bound is not finite.
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite(), "f64_in: bad range");
+    Gen::new(move |src| {
+        let unit = (src.draw(0) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = lo + unit * (hi - lo);
+        if x >= hi {
+            lo
+        } else {
+            x
+        }
+    })
+}
+
+/// Uniformly pick one of the given generators each case.
+///
+/// # Panics
+/// Panics if `options` is empty.
+pub fn one_of<T: 'static>(options: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!options.is_empty(), "one_of: no options");
+    Gen::new(move |src| {
+        let i = src.draw(options.len() as u64) as usize;
+        options[i].generate(src)
+    })
+}
+
+/// A vector of `len_lo..=len_hi` elements (length shrinks toward
+/// `len_lo`).
+///
+/// Encoded with one continue-bit per optional element rather than an
+/// up-front length, so deleting a `(bit, element)` block from the choice
+/// stream genuinely shortens the vector during shrinking. Lengths beyond
+/// `len_lo` are geometric (7/8 continue chance), capped at `len_hi`.
+pub fn vec_of<T: 'static>(elem: Gen<T>, len_lo: usize, len_hi: usize) -> Gen<Vec<T>> {
+    assert!(len_lo <= len_hi, "vec_of: empty length range");
+    Gen::new(move |src| {
+        let mut v = Vec::with_capacity(len_lo);
+        while v.len() < len_lo {
+            v.push(elem.generate(src));
+        }
+        while v.len() < len_hi {
+            if src.draw(8) == 0 {
+                break;
+            }
+            v.push(elem.generate(src));
+        }
+        v
+    })
+}
+
+/// Pair of independent generators.
+pub fn zip2<A: 'static, B: 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::new(move |src| (a.generate(src), b.generate(src)))
+}
+
+/// Triple of independent generators.
+pub fn zip3<A: 'static, B: 'static, C: 'static>(a: Gen<A>, b: Gen<B>, c: Gen<C>) -> Gen<(A, B, C)> {
+    Gen::new(move |src| (a.generate(src), b.generate(src), c.generate(src)))
+}
+
+/// Quadruple of independent generators.
+pub fn zip4<A: 'static, B: 'static, C: 'static, D: 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    Gen::new(move |src| (a.generate(src), b.generate(src), c.generate(src), d.generate(src)))
+}
+
+/// Recursive structures: at each of `depth` levels, choose between a
+/// fresh leaf and `branch` applied to the previous level. Shrinking
+/// naturally collapses branches back to leaves.
+pub fn recursive<T: 'static>(
+    leaf: Gen<T>,
+    depth: u32,
+    branch: impl Fn(Gen<T>) -> Gen<T>,
+) -> Gen<T> {
+    let mut g = leaf.clone();
+    for _ in 0..depth {
+        g = one_of(vec![leaf.clone(), branch(g)]);
+    }
+    g
+}
+
+// ---------------------------------------------------------------- runner --
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseError {
+    /// Precondition unmet (`prop_assume!`); the case is not counted.
+    Discard,
+    /// Assertion failed with this message.
+    Fail(String),
+}
+
+/// What a property returns per case.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Cases to run (`CSO_PROP_CASES` overrides).
+    pub cases: u32,
+    /// Maximum discarded cases before the property errors out as vacuous.
+    pub max_discards: u32,
+    /// Budget of candidate streams evaluated during shrinking.
+    pub max_shrink_steps: u32,
+    /// Base seed; `None` uses the fixed default (`CSO_PROP_SEED` replays
+    /// one specific failing case seed).
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 128, max_discards: 10_000, max_shrink_steps: 2_000, seed: None }
+    }
+}
+
+/// A minimal counterexample.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// The (shrunk) failing value.
+    pub value: T,
+    /// The assertion message.
+    pub message: String,
+    /// Seed reproducing this case via `CSO_PROP_SEED`.
+    pub case_seed: u64,
+    /// 0-based index of the failing case.
+    pub case: u32,
+    /// Shrink candidates that reproduced the failure.
+    pub shrink_steps: u32,
+}
+
+const DEFAULT_SEED: u64 = 0x5EED_CA5E_0000_0001;
+
+fn case_seed(base: u64, case: u32) -> u64 {
+    base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run `prop` against values from `gen`; panic with the shrunk
+/// counterexample on failure.
+///
+/// # Panics
+/// Panics when the property fails or discards every case.
+pub fn check<T: Debug + 'static>(name: &str, gen: &Gen<T>, prop: impl Fn(&T) -> CaseResult) {
+    check_with(&Config::default(), name, gen, prop);
+}
+
+/// [`check`] with explicit configuration.
+///
+/// # Panics
+/// Panics when the property fails or discards every case.
+pub fn check_with<T: Debug + 'static>(
+    cfg: &Config,
+    name: &str,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> CaseResult,
+) {
+    let env_seed = std::env::var("CSO_PROP_SEED").ok().and_then(|s| s.parse::<u64>().ok());
+    let cases = std::env::var("CSO_PROP_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(cfg.cases);
+    if let Err(failure) = run_cases(cfg, gen, &prop, env_seed, cases) {
+        panic!(
+            "property `{name}` failed (case {}, {} shrink steps)\n\
+             minimal counterexample: {:?}\n\
+             {}\n\
+             reproduce with: CSO_PROP_SEED={}",
+            failure.case, failure.shrink_steps, failure.value, failure.message, failure.case_seed,
+        );
+    }
+}
+
+/// Run a property and return the shrunk failure instead of panicking —
+/// the hook the harness's own tests (and shrinking smoke tests) use.
+/// Unlike [`check`]/[`check_with`], this honors only the explicit
+/// `Config` — the `CSO_PROP_SEED`/`CSO_PROP_CASES` environment overrides
+/// are ignored, so programmatic callers stay in control.
+///
+/// # Panics
+/// Panics if every case is discarded (a vacuous property is a test bug).
+pub fn check_result<T: Debug + 'static>(
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: &impl Fn(&T) -> CaseResult,
+) -> Result<(), Failure<T>> {
+    run_cases(cfg, gen, prop, None, cfg.cases)
+}
+
+fn run_cases<T: Debug + 'static>(
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: &impl Fn(&T) -> CaseResult,
+    env_seed: Option<u64>,
+    cases: u32,
+) -> Result<(), Failure<T>> {
+    let base_seed = cfg.seed.unwrap_or(DEFAULT_SEED);
+    let mut ran = 0u32;
+    let mut discards = 0u32;
+    let mut case = 0u32;
+    while ran < cases {
+        let seed = env_seed.unwrap_or_else(|| case_seed(base_seed, case));
+        let mut src = Source::random(Rng::seed_from_u64(seed));
+        let value = gen.generate(&mut src);
+        match prop(&value) {
+            Ok(()) => ran += 1,
+            Err(CaseError::Discard) => {
+                discards += 1;
+                assert!(
+                    discards <= cfg.max_discards,
+                    "property discarded {discards} cases (ran {ran}): assumptions too strict"
+                );
+            }
+            Err(CaseError::Fail(message)) => {
+                let (value, message, steps) =
+                    shrink(gen, prop, src.record, value, message, cfg.max_shrink_steps);
+                return Err(Failure { value, message, case_seed: seed, case, shrink_steps: steps });
+            }
+        }
+        case += 1;
+        if env_seed.is_some() {
+            // A pinned seed reproduces exactly one case.
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Mutate the failing choice stream toward simpler values: delete chunks
+/// from the tail forward, then minimize individual choices. Returns the
+/// minimal failing value, its message, and how many candidates failed.
+fn shrink<T: Debug + 'static>(
+    gen: &Gen<T>,
+    prop: &impl Fn(&T) -> CaseResult,
+    mut data: Vec<u64>,
+    mut best_value: T,
+    mut best_message: String,
+    budget: u32,
+) -> (T, String, u32) {
+    let mut spent = 0u32;
+    let mut adopted = 0u32;
+
+    // Shortlex order on choice streams: shorter first, then
+    // lexicographic. Adoption requires *strictly* simpler, which makes
+    // the loop well-founded — replay pads truncated streams with zeros,
+    // so without this check deleting trailing zeros would be "adopted"
+    // forever without progress.
+    fn simpler(a: &[u64], b: &[u64]) -> bool {
+        a.len() < b.len() || (a.len() == b.len() && a < b)
+    }
+
+    // Re-runs a candidate stream; adopts it when the failure persists
+    // and the canonical (actually consumed) stream is strictly simpler.
+    let try_candidate = |candidate: Vec<u64>,
+                         data: &mut Vec<u64>,
+                         best_value: &mut T,
+                         best_message: &mut String,
+                         spent: &mut u32|
+     -> bool {
+        if *spent >= budget || candidate == *data {
+            return false;
+        }
+        *spent += 1;
+        let mut src = Source::replaying(candidate);
+        let value = gen.generate(&mut src);
+        if !simpler(&src.record, data) {
+            return false;
+        }
+        if let Err(CaseError::Fail(msg)) = prop(&value) {
+            *data = src.record;
+            *best_value = value;
+            *best_message = msg;
+            true
+        } else {
+            false
+        }
+    };
+
+    let mut improved = true;
+    while improved && spent < budget {
+        improved = false;
+
+        // Pass 1: delete chunks (big to small, end to start). Every size
+        // up to 8 is tried so that "hoist child over parent" deletions —
+        // whose span is an op draw plus a whole sibling subtree — stay
+        // reachable for small subtrees.
+        for chunk in [16usize, 8, 7, 6, 5, 4, 3, 2, 1] {
+            let mut i = data.len().saturating_sub(chunk);
+            loop {
+                if data.len() >= chunk && i + chunk <= data.len() {
+                    let mut candidate = data.clone();
+                    candidate.drain(i..i + chunk);
+                    if try_candidate(
+                        candidate,
+                        &mut data,
+                        &mut best_value,
+                        &mut best_message,
+                        &mut spent,
+                    ) {
+                        improved = true;
+                        adopted += 1;
+                        // Deleting shifted everything; restart this pass.
+                        i = data.len().saturating_sub(chunk);
+                        continue;
+                    }
+                }
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+            }
+        }
+
+        // Pass 2: minimize each choice (0, then binary descent).
+        for i in 0..data.len() {
+            if data[i] == 0 {
+                continue;
+            }
+            let mut candidate = data.clone();
+            candidate[i] = 0;
+            if try_candidate(candidate, &mut data, &mut best_value, &mut best_message, &mut spent) {
+                improved = true;
+                adopted += 1;
+                continue;
+            }
+            // data[i] may have changed index meaning after adoption; guard.
+            let mut lo = 0u64;
+            let mut hi = *data.get(i).unwrap_or(&0);
+            while lo + 1 < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = data.clone();
+                if candidate.len() <= i {
+                    break;
+                }
+                candidate[i] = mid;
+                if try_candidate(
+                    candidate,
+                    &mut data,
+                    &mut best_value,
+                    &mut best_message,
+                    &mut spent,
+                ) {
+                    improved = true;
+                    adopted += 1;
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+                if spent >= budget {
+                    break;
+                }
+            }
+        }
+    }
+    (best_value, best_message, adopted)
+}
+
+// ---------------------------------------------------------------- macros --
+
+/// Assert inside a property; on failure the case fails (and shrinks).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: {} == {} ({a:?} vs {b:?})",
+                stringify!($a), stringify!($b)
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err($crate::prop::CaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: {} != {} (both {a:?})",
+                stringify!($a),
+                stringify!($b)
+            )));
+        }
+    }};
+}
+
+/// Skip cases violating a precondition (discarded, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Discard);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check("add_commutes", &zip2(i64_any(), i64_any()), |&(a, b)| {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn ranges_hold() {
+        check("int_in_bounds", &int_in(-7, 9), |&x| {
+            prop_assert!((-7..=9).contains(&x), "{x} out of range");
+            Ok(())
+        });
+        check("f64_in_bounds", &f64_in(-2.0, 3.0), |&x| {
+            prop_assert!((-2.0..3.0).contains(&x), "{x} out of range");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn assume_discards_but_completes() {
+        check("odd_only", &int_in(0, 1000), |&x| {
+            prop_assume!(x % 2 == 1);
+            prop_assert!(x % 2 == 1);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "assumptions too strict")]
+    fn vacuous_property_panics() {
+        // Via check_result so a CSO_PROP_SEED set in the environment
+        // cannot turn the expected panic into a single-case no-op.
+        let cfg = Config { max_discards: 50, ..Config::default() };
+        let _ = check_result(&cfg, &int_in(0, 10), &|_| Err(CaseError::Discard));
+    }
+
+    #[test]
+    fn failure_reports_and_shrinks_to_boundary() {
+        // Fails for x >= 50; the minimal counterexample is exactly 50.
+        let out = check_result(&Config::default(), &int_in(0, 10_000), &|&x: &i64| {
+            if x < 50 {
+                Ok(())
+            } else {
+                Err(CaseError::Fail(format!("{x} too big")))
+            }
+        });
+        let failure = out.expect_err("property must fail");
+        assert_eq!(failure.value, 50, "shrinker should reach the boundary");
+        assert!(failure.message.contains("too big"));
+    }
+
+    #[test]
+    fn shrinks_vectors_to_minimal_length() {
+        // Fails whenever the vector contains an element >= 100; minimal
+        // counterexample is a single-element vector [100].
+        let gen = vec_of(int_in(0, 1000), 0, 20);
+        let out = check_result(&Config::default(), &gen, &|v: &Vec<i64>| {
+            if v.iter().all(|&x| x < 100) {
+                Ok(())
+            } else {
+                Err(CaseError::Fail("big element".into()))
+            }
+        });
+        let failure = out.expect_err("property must fail");
+        assert_eq!(failure.value.len(), 1, "minimal witness is one element");
+        assert_eq!(failure.value[0], 100);
+    }
+
+    #[test]
+    fn shrinks_through_map_and_one_of() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum E {
+            Small(i64),
+            Big(i64),
+        }
+        let gen = one_of(vec![int_in(0, 9).map(E::Small), int_in(10, 1000).map(E::Big)]);
+        let out = check_result(&Config::default(), &gen, &|e: &E| match e {
+            E::Small(_) => Ok(()),
+            E::Big(_) => Err(CaseError::Fail("big variant".into())),
+        });
+        let failure = out.expect_err("property must fail");
+        assert_eq!(failure.value, E::Big(10), "minimal Big is Big(10)");
+    }
+
+    #[test]
+    fn recursion_shrinks_to_leaf() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaves(t: &Tree) -> Vec<i64> {
+            match t {
+                Tree::Leaf(v) => vec![*v],
+                Tree::Node(a, b) => {
+                    let mut out = leaves(a);
+                    out.extend(leaves(b));
+                    out
+                }
+            }
+        }
+        let leaf = int_in(0, 100).map(Tree::Leaf);
+        let gen = recursive(leaf, 5, |inner| {
+            zip2(inner.clone(), inner).map(|(a, b)| Tree::Node(a.into(), b.into()))
+        });
+        let out = check_result(&Config::default(), &gen, &|t: &Tree| match t {
+            Tree::Leaf(_) => Ok(()),
+            Tree::Node(..) => Err(CaseError::Fail("not a leaf".into())),
+        });
+        let failure = out.expect_err("property must fail");
+        assert_eq!(depth(&failure.value), 2, "minimal node has two leaves");
+        assert_eq!(leaves(&failure.value), vec![0, 0], "leaf values shrink to the range floor");
+    }
+
+    #[test]
+    fn fixed_seed_is_reproducible() {
+        let collect = |seed| {
+            let mut src = Source::random(Rng::seed_from_u64(seed));
+            vec_of(i64_any(), 0, 10).generate(&mut src)
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(collect(42), collect(43));
+    }
+
+    #[test]
+    fn flat_map_dependent_generation() {
+        let gen = usize_in(1, 5).flat_map(|n| vec_of(int_in(0, 9), n, n));
+        check("len_matches", &gen, |v| {
+            prop_assert!((1..=5).contains(&v.len()), "len {}", v.len());
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn zigzag_decodes_small() {
+        assert_eq!(zigzag_i64(0), 0);
+        assert_eq!(zigzag_i64(1), -1);
+        assert_eq!(zigzag_i64(2), 1);
+        assert_eq!(zigzag_i64(u64::MAX), i64::MIN);
+    }
+}

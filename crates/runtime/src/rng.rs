@@ -1,0 +1,291 @@
+//! Deterministic pseudo-random numbers: xoshiro256++ behind a small,
+//! workspace-shaped API.
+//!
+//! The synthesis loop, the solver, the oracles and the experiment harness
+//! are all randomized searches; their results are only comparable
+//! run-to-run because every one of them draws from an [`Rng`] seeded by
+//! the caller. The generator is xoshiro256++ (Blackman & Vigna), seeded
+//! through SplitMix64 so that small consecutive integer seeds produce
+//! well-separated streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable deterministic generator (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step: used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Build a generator from a 64-bit seed. Equal seeds give equal
+    /// streams on every platform; nearby seeds give unrelated streams.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        // xoshiro's all-zero state is a fixed point; SplitMix64 cannot
+        // produce four zeros from any seed, but guard anyway.
+        if s == [0; 4] {
+            Rng { s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3] }
+        } else {
+            Rng { s }
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[must_use]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[must_use]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, n)` without modulo bias (rejection sampling;
+    /// deterministic given the stream).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0)");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        // Reject the incomplete top slice of the u64 range.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform sample from a range; implemented for integer and float
+    /// ranges, both half-open (`lo..hi`) and inclusive (`lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A new generator with an unrelated stream, advancing this one by a
+    /// single draw. Use for per-run / per-thread independent streams.
+    #[must_use]
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Uniformly chosen element of `slice`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.next_below(slice.len() as u64) as usize;
+            Some(&slice[i])
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw a uniform sample.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.next_below(width) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let width = hi.wrapping_sub(lo) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.next_below(width + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i64, u64, i32, u32, u8, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let x = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding can land exactly on `end`; nudge back inside.
+        if x >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        (lo + rng.next_f64() * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!((0..10).contains(&r.random_range(0..10i64)));
+            assert!((-5..=5).contains(&r.random_range(-5..=5i64)));
+            let x = r.random_range(-2.5..=2.5f64);
+            assert!((-2.5..=2.5).contains(&x));
+            let y = r.random_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&y));
+        }
+        // Degenerate inclusive range is fine.
+        assert_eq!(r.random_range(3..=3i64), 3);
+        assert_eq!(r.random_range(1.5..=1.5f64), 1.5);
+    }
+
+    #[test]
+    fn full_range_integers_do_not_panic() {
+        let mut r = Rng::seed_from_u64(3);
+        let _ = r.random_range(i64::MIN..=i64::MAX);
+        let _ = r.random_range(u64::MIN..=u64::MAX);
+    }
+
+    #[test]
+    fn range_sampling_covers_values() {
+        let mut r = Rng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[r.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn fork_gives_unrelated_stream() {
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = a.fork();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+        // Forking is itself deterministic.
+        let mut a2 = Rng::seed_from_u64(9);
+        let mut b2 = a2.fork();
+        assert_eq!(b2.next_u64(), ys[0]);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = Rng::seed_from_u64(5);
+        let v = [1, 2, 3, 4, 5];
+        for _ in 0..50 {
+            assert!(v.contains(r.choose(&v).unwrap()));
+        }
+        assert!(r.choose::<i32>(&[]).is_none());
+        let mut w = [1, 2, 3, 4, 5, 6, 7, 8];
+        let orig = w;
+        r.shuffle(&mut w);
+        let mut sorted = w;
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle is a permutation");
+    }
+
+    #[test]
+    fn bool_probabilities() {
+        let mut r = Rng::seed_from_u64(6);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        let heads = (0..2000).filter(|_| r.random_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "unbiased-ish: {heads}");
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_centered() {
+        let mut r = Rng::seed_from_u64(10);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -272,10 +272,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         i += 1;
                     }
                 }
-                out.push(Spanned {
-                    token: Token::Number(src[start..i].to_owned()),
-                    offset: start,
-                });
+                out.push(Spanned { token: Token::Number(src[start..i].to_owned()), offset: start });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -374,11 +371,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("1 # comment\n2 // another\n3"), vec![
-            Token::Number("1".into()),
-            Token::Number("2".into()),
-            Token::Number("3".into()),
-        ]);
+        assert_eq!(
+            toks("1 # comment\n2 // another\n3"),
+            vec![Token::Number("1".into()), Token::Number("2".into()), Token::Number("3".into()),]
+        );
     }
 
     #[test]

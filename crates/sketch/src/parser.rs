@@ -279,11 +279,7 @@ impl Parser {
                 (_, None) => {}
                 (None, Some(b)) => self.holes[i].bounds = Some(b.clone()),
                 (Some(a), Some(b)) if a == b => {}
-                _ => {
-                    return self.err(format!(
-                        "hole `{name}` re-declared with a different range"
-                    ))
-                }
+                _ => return self.err(format!("hole `{name}` re-declared with a different range")),
             }
             return Ok(Expr::Hole(i));
         }
@@ -390,10 +386,7 @@ mod tests {
         assert_eq!(s.params(), ["throughput", "latency"]);
         let names: Vec<_> = s.holes().iter().map(|h| h.name.as_str()).collect();
         assert_eq!(names, ["tp_thrsh", "l_thrsh", "slope1", "slope2"]);
-        assert_eq!(
-            s.holes()[1].bounds,
-            Some((Rat::zero(), Rat::from_int(200)))
-        );
+        assert_eq!(s.holes()[1].bounds, Some((Rat::zero(), Rat::from_int(200))));
     }
 
     #[test]
@@ -417,10 +410,7 @@ mod tests {
     #[test]
     fn negative_hole_range() {
         let s = parse("fn f(x) { ??a in [-5, -1] + x }");
-        assert_eq!(
-            s.holes()[0].bounds,
-            Some((Rat::from_int(-5), Rat::from_int(-1)))
-        );
+        assert_eq!(s.holes()[0].bounds, Some((Rat::from_int(-5), Rat::from_int(-1))));
     }
 
     #[test]
@@ -461,9 +451,7 @@ mod tests {
 
     #[test]
     fn nested_if() {
-        let s = parse(
-            "fn f(x) { if x > 2 then if x > 5 then 2 else 1 else 0 }",
-        );
+        let s = parse("fn f(x) { if x > 2 then if x > 5 then 2 else 1 else 0 }");
         assert!(matches!(s.body(), crate::ast::Expr::If(_, _, _)));
     }
 

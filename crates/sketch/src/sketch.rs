@@ -396,10 +396,7 @@ mod tests {
         assert!(s.complete(vec![r(1), r(50), r(1), r(5)]).is_ok());
         let err = s.complete(vec![r(1), r(500), r(1), r(5)]).unwrap_err();
         assert!(matches!(err, SketchError::HoleOutOfRange { ref name } if name == "l_thrsh"));
-        assert!(matches!(
-            s.complete(vec![r(1)]),
-            Err(SketchError::HoleCountMismatch { .. })
-        ));
+        assert!(matches!(s.complete(vec![r(1)]), Err(SketchError::HoleCountMismatch { .. })));
     }
 
     #[test]
@@ -460,10 +457,8 @@ mod tests {
 
     #[test]
     fn min_max_and_not_lowering() {
-        let s = Sketch::parse(
-            "fn f(x, y) { if !(x > y) then min(x, y) else max(x, y) / 2 }",
-        )
-        .unwrap();
+        let s =
+            Sketch::parse("fn f(x, y) { if !(x > y) then min(x, y) else max(x, y) / 2 }").unwrap();
         // x <= y branch: min = x
         assert_eq!(s.eval(&[], &[r(1), r(3)]).unwrap(), r(1));
         // x > y branch: max / 2

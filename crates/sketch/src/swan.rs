@@ -36,7 +36,12 @@ pub fn swan_target() -> CompletedObjective {
 /// # Panics
 /// Panics if a value violates the declared hole range.
 #[must_use]
-pub fn swan_target_with(tp_thrsh: i64, l_thrsh: i64, slope1: i64, slope2: i64) -> CompletedObjective {
+pub fn swan_target_with(
+    tp_thrsh: i64,
+    l_thrsh: i64,
+    slope1: i64,
+    slope2: i64,
+) -> CompletedObjective {
     swan_sketch()
         .complete(vec![
             Rat::from_int(tp_thrsh),
@@ -156,9 +161,7 @@ mod tests {
     fn multi_region_ordering() {
         let s = multi_region_sketch();
         // tp_hi=5, l_lo=20, slope_great=1, tp_lo=1, l_hi=100, slope_ok=1, slope_bad=5
-        let f = s
-            .complete(vec![r(5), r(20), r(1), r(1), r(100), r(1), r(5)])
-            .unwrap();
+        let f = s.complete(vec![r(5), r(20), r(1), r(1), r(100), r(1), r(5)]).unwrap();
         let great = f.eval(&[r(6), r(10)]).unwrap();
         let ok = f.eval(&[r(2), r(50)]).unwrap();
         let bad = f.eval(&[r(2), r(150)]).unwrap();

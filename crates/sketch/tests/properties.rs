@@ -4,8 +4,15 @@
 use cso_logic::eval::eval_term;
 use cso_logic::Term;
 use cso_numeric::Rat;
+use cso_runtime::prop::{
+    self, int_in, just, one_of, recursive, usize_in, vec_of, zip2, zip3, zip4, Config, Gen,
+};
+use cso_runtime::{prop_assert, prop_assert_eq};
 use cso_sketch::Sketch;
-use proptest::prelude::*;
+
+fn cfg96() -> Config {
+    Config { cases: 96, ..Config::default() }
+}
 
 /// Generate random sketch source text from a tiny grammar with two
 /// parameters `x` and `y` and up to three holes.
@@ -35,12 +42,9 @@ impl GenExpr {
             GenExpr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
             GenExpr::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
             GenExpr::Max(a, b) => format!("max({}, {})", a.render(), b.render()),
-            GenExpr::If(c, a, b) => format!(
-                "(if {} >= 0 then {} else {})",
-                c.render(),
-                a.render(),
-                b.render()
-            ),
+            GenExpr::If(c, a, b) => {
+                format!("(if {} >= 0 then {} else {})", c.render(), a.render(), b.render())
+            }
         }
     }
 
@@ -65,31 +69,29 @@ impl GenExpr {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = GenExpr> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(GenExpr::Num),
-        Just(GenExpr::X),
-        Just(GenExpr::Y),
-        (0u8..3).prop_map(GenExpr::Hole),
-    ];
-    leaf.prop_recursive(4, 40, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Sub(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Mul(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Min(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Max(a.into(), b.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| GenExpr::If(c.into(), a.into(), b.into())),
-        ]
+fn arb_expr() -> Gen<GenExpr> {
+    let leaf = one_of(vec![
+        int_in(-20, 19).map(GenExpr::Num),
+        just(GenExpr::X),
+        just(GenExpr::Y),
+        int_in(0, 2).map(|i| GenExpr::Hole(i as u8)),
+    ]);
+    recursive(leaf, 4, |inner| {
+        one_of(vec![
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| GenExpr::Add(a.into(), b.into())),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| GenExpr::Sub(a.into(), b.into())),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| GenExpr::Mul(a.into(), b.into())),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| GenExpr::Min(a.into(), b.into())),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| GenExpr::Max(a.into(), b.into())),
+            zip3(inner.clone(), inner.clone(), inner)
+                .map(|(c, a, b)| GenExpr::If(c.into(), a.into(), b.into())),
+        ])
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn generated_sketches_parse(e in arb_expr()) {
+#[test]
+fn generated_sketches_parse() {
+    prop::check_with(&cfg96(), "generated_sketches_parse", &arb_expr(), |e| {
         let src = format!("fn f(x, y) {{ {} }}", e.render());
         let sketch = Sketch::parse(&src);
         prop_assert!(sketch.is_ok(), "failed to parse: {src}\n{:?}", sketch.err());
@@ -99,52 +101,68 @@ proptest! {
         used.sort_unstable();
         used.dedup();
         prop_assert_eq!(sketch.holes().len(), used.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn eval_and_lowering_agree(
-        e in arb_expr(),
-        x in -10i64..10,
-        y in -10i64..10,
-        h in prop::collection::vec(0i64..=10, 3),
-    ) {
-        let src = format!("fn f(x, y) {{ {} }}", e.render());
-        let sketch = Sketch::parse(&src).unwrap();
-        let holes: Vec<Rat> =
-            (0..sketch.holes().len()).map(|i| Rat::from_int(h[i % h.len()])).collect();
-        let args = [Rat::from_int(x), Rat::from_int(y)];
-        let direct = sketch.eval(&holes, &args).expect("division-free");
-        let hole_terms: Vec<Term> =
-            holes.iter().map(|v| Term::constant(v.clone())).collect();
-        let lowered = sketch.lower(
-            &hole_terms,
-            &[Term::constant(args[0].clone()), Term::constant(args[1].clone())],
-        );
-        let via_logic = eval_term(&lowered, &[]).expect("ground term");
-        prop_assert_eq!(direct, via_logic);
-    }
+#[test]
+fn eval_and_lowering_agree() {
+    prop::check_with(
+        &cfg96(),
+        "eval_and_lowering_agree",
+        &zip4(arb_expr(), int_in(-10, 9), int_in(-10, 9), vec_of(int_in(0, 10), 3, 3)),
+        |(e, x, y, h)| {
+            let src = format!("fn f(x, y) {{ {} }}", e.render());
+            let sketch = Sketch::parse(&src).unwrap();
+            let holes: Vec<Rat> =
+                (0..sketch.holes().len()).map(|i| Rat::from_int(h[i % h.len()])).collect();
+            let args = [Rat::from_int(*x), Rat::from_int(*y)];
+            let direct = sketch.eval(&holes, &args).expect("division-free");
+            let hole_terms: Vec<Term> = holes.iter().map(|v| Term::constant(v.clone())).collect();
+            let lowered = sketch.lower(
+                &hole_terms,
+                &[Term::constant(args[0].clone()), Term::constant(args[1].clone())],
+            );
+            let via_logic = eval_term(&lowered, &[]).expect("ground term");
+            prop_assert_eq!(direct, via_logic);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn completion_respects_hole_count(e in arb_expr(), extra in 1usize..4) {
-        let src = format!("fn f(x, y) {{ {} }}", e.render());
-        let sketch = Sketch::parse(&src).unwrap();
-        let wrong = vec![Rat::one(); sketch.holes().len() + extra];
-        prop_assert!(sketch.complete(wrong).is_err());
-    }
+#[test]
+fn completion_respects_hole_count() {
+    prop::check_with(
+        &cfg96(),
+        "completion_respects_hole_count",
+        &zip2(arb_expr(), usize_in(1, 3)),
+        |(e, extra)| {
+            let src = format!("fn f(x, y) {{ {} }}", e.render());
+            let sketch = Sketch::parse(&src).unwrap();
+            let wrong = vec![Rat::one(); sketch.holes().len() + extra];
+            prop_assert!(sketch.complete(wrong).is_err());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn parser_never_panics_on_mutations(
-        e in arb_expr(),
-        cut in 0usize..40,
-    ) {
-        // Truncate valid source at an arbitrary byte (on a char boundary):
-        // the parser must return Err, not panic.
-        let src = format!("fn f(x, y) {{ {} }}", e.render());
-        let cut = cut.min(src.len());
-        let mut truncated = &src[..cut];
-        while !src.is_char_boundary(truncated.len()) {
-            truncated = &truncated[..truncated.len() - 1];
-        }
-        let _ = Sketch::parse(truncated); // must not panic
-    }
+#[test]
+fn parser_never_panics_on_mutations() {
+    prop::check_with(
+        &cfg96(),
+        "parser_never_panics_on_mutations",
+        &zip2(arb_expr(), usize_in(0, 39)),
+        |(e, cut)| {
+            // Truncate valid source at an arbitrary byte (on a char boundary):
+            // the parser must return Err, not panic.
+            let src = format!("fn f(x, y) {{ {} }}", e.render());
+            let cut = (*cut).min(src.len());
+            let mut truncated = &src[..cut];
+            while !src.is_char_boundary(truncated.len()) {
+                truncated = &truncated[..truncated.len() - 1];
+            }
+            let _ = Sketch::parse(truncated); // must not panic
+            Ok(())
+        },
+    );
 }

@@ -10,9 +10,7 @@
 use compsynth::numeric::Rat;
 use compsynth::sketch::swan::{swan_sketch, swan_target, SWAN_SKETCH_SRC};
 use compsynth::synth::verify::preference_agreement;
-use compsynth::synth::{
-    GroundTruthOracle, LoggingOracle, MetricSpace, SynthConfig, Synthesizer,
-};
+use compsynth::synth::{GroundTruthOracle, LoggingOracle, MetricSpace, SynthConfig, Synthesizer};
 
 fn main() {
     println!("=== Comparative synthesis quickstart ===\n");

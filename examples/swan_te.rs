@@ -59,8 +59,8 @@ fn main() {
     println!("\nHidden architect intent: {architect_intent}");
     let mut cfg = SynthConfig::fast_test();
     cfg.seed = 11;
-    let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg)
-        .expect("sketch matches space");
+    let mut synth =
+        Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).expect("sketch matches space");
     let mut oracle = GroundTruthOracle::new(architect_intent);
     let result = synth.run(&mut oracle).expect("consistent oracle");
     println!(
@@ -72,10 +72,8 @@ fn main() {
 
     // 4. Pick the best design under the learnt objective.
     let learnt = &result.objective;
-    let best = pick_best(&designs, |m| {
-        learnt.eval(&m.swan_pair()).expect("metrics in range")
-    })
-    .expect("portfolio not empty");
+    let best = pick_best(&designs, |m| learnt.eval(&m.swan_pair()).expect("metrics in range"))
+        .expect("portfolio not empty");
     println!("\nChosen design: {}", best.label);
     println!("  {}", best.metrics);
 

@@ -71,8 +71,7 @@ fn main() {
     ]);
     let mut cfg = SynthConfig::fast_test();
     cfg.seed = 5;
-    let mut synth =
-        Synthesizer::new(sketch, space, cfg).expect("sketch matches QoE metric space");
+    let mut synth = Synthesizer::new(sketch, space, cfg).expect("sketch matches QoE metric space");
     let mut oracle = GroundTruthOracle::new(viewer_model.clone());
     let result = synth.run(&mut oracle).expect("consistent oracle");
     println!(
@@ -91,10 +90,7 @@ fn main() {
         for (_, trace) in traces() {
             let log = player.simulate(policy.as_mut(), &trace);
             let q = QoeMetrics::of(&log);
-            let v = result
-                .objective
-                .eval(&q.sketch_triple())
-                .expect("metrics in range");
+            let v = result.objective.eval(&q.sketch_triple()).expect("metrics in range");
             total += v.to_f64();
             count += 1;
         }

@@ -12,5 +12,6 @@ pub use cso_lp as lp;
 pub use cso_netsim as netsim;
 pub use cso_numeric as numeric;
 pub use cso_prefgraph as prefgraph;
+pub use cso_runtime as runtime;
 pub use cso_sketch as sketch;
 pub use cso_synth as synth;

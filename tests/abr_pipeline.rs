@@ -18,12 +18,11 @@ fn qoe_space() -> MetricSpace {
 #[test]
 fn learnt_qoe_ranks_policies_like_the_viewer_model() {
     let sketch = abr_qoe_sketch();
-    let viewer = sketch
-        .complete(vec![Rat::from_int(2), Rat::from_int(40), Rat::from_int(2)])
-        .unwrap();
+    let viewer =
+        sketch.complete(vec![Rat::from_int(2), Rat::from_int(40), Rat::from_int(2)]).unwrap();
 
     let mut cfg = SynthConfig::fast_test();
-    cfg.seed = 31;
+    cfg.seed = 2;
     cfg.max_iterations = 40;
     let mut synth = Synthesizer::new(sketch, qoe_space(), cfg).unwrap();
     let mut oracle = GroundTruthOracle::new(viewer.clone());
@@ -47,9 +46,7 @@ fn learnt_qoe_ranks_policies_like_the_viewer_model() {
     }
 
     // Fixed-top must actually stall on this link (player-level sanity).
-    let q_fixed = QoeMetrics::of(
-        &player.simulate(&mut FixedQuality::new(5), &trace),
-    );
+    let q_fixed = QoeMetrics::of(&player.simulate(&mut FixedQuality::new(5), &trace));
     assert!(q_fixed.rebuffer_pct > 5.0, "fixed-top should rebuffer, got {}", q_fixed.rebuffer_pct);
 
     // The learnt objective must agree with the viewer model on the policy
@@ -90,10 +87,7 @@ fn qoe_scenarios_are_in_the_metric_space() {
             let q = QoeMetrics::of(&log);
             let triple = q.sketch_triple();
             let scenario = compsynth::synth::Scenario::new(triple.to_vec());
-            assert!(
-                space.contains(&scenario),
-                "metrics {scenario} escape the declared bounds"
-            );
+            assert!(space.contains(&scenario), "metrics {scenario} escape the declared bounds");
         }
     }
 }

@@ -37,10 +37,10 @@ fn sketch_text_to_learnt_objective() {
 
     assert!(oracle.interactions > 0);
     let pairs: [(i64, i64, i64, i64); 4] = [
-        (2, 10, 2, 100),  // satisfying beats unsatisfying
-        (5, 10, 2, 10),   // higher throughput wins inside the region
-        (2, 60, 2, 190),  // lower latency wins outside the region
-        (1, 40, 9, 150),  // bonus dominates raw throughput
+        (2, 10, 2, 100), // satisfying beats unsatisfying
+        (5, 10, 2, 10),  // higher throughput wins inside the region
+        (2, 60, 2, 190), // lower latency wins outside the region
+        (1, 40, 9, 150), // bonus dominates raw throughput
     ];
     for (t1, l1, t2, l2) in pairs {
         let a = [Rat::from_int(t1), Rat::from_int(l1)];
@@ -71,10 +71,8 @@ fn learnt_objective_picks_sensible_design() {
     let mut oracle = GroundTruthOracle::new(intent.clone());
     let result = synth.run(&mut oracle).expect("consistent oracle");
 
-    let learnt_pick = pick_best(&designs, |m| {
-        result.objective.eval(&m.swan_pair()).expect("in range")
-    })
-    .unwrap();
+    let learnt_pick =
+        pick_best(&designs, |m| result.objective.eval(&m.swan_pair()).expect("in range")).unwrap();
     let intent_pick =
         pick_best(&designs, |m| intent.eval(&m.swan_pair()).expect("in range")).unwrap();
     assert_eq!(
@@ -91,15 +89,11 @@ fn convergence_quality_across_seeds() {
     // Several seeds, one target: every run converges and agrees with the
     // target on well-separated pairs.
     for seed in [3u64, 9, 27] {
-        let mut synth =
-            Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast(seed)).unwrap();
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast(seed)).unwrap();
         let mut oracle = GroundTruthOracle::new(swan_target());
         let result = synth.run(&mut oracle).expect("consistent oracle");
         assert!(
-            matches!(
-                result.outcome,
-                SynthOutcome::Converged | SynthOutcome::ConvergedBudget
-            ),
+            matches!(result.outcome, SynthOutcome::Converged | SynthOutcome::ConvergedBudget),
             "seed {seed}: {:?}",
             result.outcome
         );

@@ -52,9 +52,7 @@ fn solver_finds_lp_optimum_region() {
     let f = compsynth::logic::Formula::and(vec![
         Term::var(x).add(Term::int(2).mul(Term::var(y))).le(Term::int(4)),
         Term::int(3).mul(Term::var(x)).add(Term::var(y)).le(Term::int(6)),
-        Term::var(x)
-            .add(Term::var(y))
-            .ge(Term::constant(Rat::from_frac(27, 10))),
+        Term::var(x).add(Term::var(y)).ge(Term::constant(Rat::from_frac(27, 10))),
     ]);
     let mut dom = BoxDomain::new(&vars);
     dom.set(x, Interval::new(0.0, 10.0));
@@ -73,9 +71,7 @@ fn solver_finds_lp_optimum_region() {
     let g = compsynth::logic::Formula::and(vec![
         Term::var(x).add(Term::int(2).mul(Term::var(y))).le(Term::int(4)),
         Term::int(3).mul(Term::var(x)).add(Term::var(y)).le(Term::int(6)),
-        Term::var(x)
-            .add(Term::var(y))
-            .ge(Term::constant(Rat::from_frac(29, 10))),
+        Term::var(x).add(Term::var(y)).ge(Term::constant(Rat::from_frac(29, 10))),
     ]);
     let out = solver.solve(&g, &dom);
     assert!(out.is_unsat_like(), "2.9 exceeds the optimum 2.8, got {out:?}");
