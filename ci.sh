@@ -23,4 +23,10 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+# Second pass with the parallel solver: branch-and-prune outcomes are
+# byte-identical for any thread count, so the whole suite must stay green
+# when every query runs on 4 workers.
+echo "==> cargo test (CSO_SOLVER_THREADS=4)"
+CSO_SOLVER_THREADS=4 cargo test -q --workspace --offline
+
 echo "CI green."

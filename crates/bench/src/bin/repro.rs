@@ -62,6 +62,9 @@ fn main() {
         let t = table1(profile);
         println!("{}", render_table1(&t));
         write_csv("table1.csv", &cso_bench::report::csv_table1(&t));
+        // Wall-clock solver split lives in its own file so table1.csv
+        // stays byte-identical across same-seed campaigns.
+        write_csv("table1_telemetry.csv", &cso_bench::report::csv_table1_telemetry(&t));
     }
     if wants("fig3") {
         let rows = fig3(profile);

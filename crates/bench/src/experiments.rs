@@ -32,7 +32,7 @@ impl ExperimentProfile {
     /// The synthesis configuration template.
     #[must_use]
     pub fn synth_config(self) -> SynthConfig {
-        match self {
+        let mut cfg = match self {
             ExperimentProfile::Quick => SynthConfig::fast_test(),
             ExperimentProfile::Paper => {
                 let mut cfg = SynthConfig::default();
@@ -42,7 +42,13 @@ impl ExperimentProfile {
                 cfg.solver.max_boxes = 120_000;
                 cfg
             }
-        }
+        };
+        // Sweeps are parallelized at the run level (one thread per run via
+        // `parallel_map`); per-query solver threads on top of that would
+        // oversubscribe the host, so campaigns always run the sequential
+        // solver — even under a `CSO_SOLVER_THREADS` override.
+        cfg.solver.threads = 1;
+        cfg
     }
 }
 
@@ -59,6 +65,17 @@ pub struct RunOutcome {
     pub agreement: f64,
     /// Termination reason.
     pub outcome: SynthOutcome,
+    /// Solver queries issued over the run (deterministic given the seed).
+    pub solver_queries: usize,
+    /// Branch-and-prune boxes explored over the run (deterministic).
+    pub boxes_explored: usize,
+    /// Boxes pruned by interval refutation over the run (deterministic).
+    pub boxes_pruned: usize,
+    /// Wall-clock seconds spent in solver seeding phases (not
+    /// deterministic — telemetry CSV only).
+    pub seeding_secs: f64,
+    /// Wall-clock seconds spent in branch-and-prune (not deterministic).
+    pub bnp_secs: f64,
 }
 
 /// Run one synthesis against a ground-truth target.
@@ -78,12 +95,18 @@ fn one_run(target: (i64, i64, i64, i64), cfg_template: &SynthConfig, seed: u64) 
         seed ^ 0xA6E,
         &Rat::from_int(20),
     );
+    let solver = result.stats.solver_totals;
     RunOutcome {
         iterations: result.stats.iterations(),
         secs_per_iteration: result.stats.avg_iteration_secs(),
         total_secs: result.stats.total_secs(),
         agreement,
         outcome: result.outcome,
+        solver_queries: solver.queries,
+        boxes_explored: solver.boxes_explored,
+        boxes_pruned: solver.boxes_pruned,
+        seeding_secs: solver.seeding_time.as_secs_f64(),
+        bnp_secs: solver.bnp_time.as_secs_f64(),
     }
 }
 
@@ -428,17 +451,37 @@ mod tests {
         assert!(t.iterations.average >= 1.0);
         assert!(t.total_secs.average > 0.0);
         assert!(t.mean_agreement > 0.85, "agreement {}", t.mean_agreement);
+        for r in &t.runs {
+            assert!(r.solver_queries > 0, "solver telemetry must be populated");
+            assert!(r.seeding_secs + r.bnp_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn campaign_configs_pin_sequential_solver() {
+        // Per-query threads would oversubscribe the run-level parallelism.
+        assert_eq!(ExperimentProfile::Quick.synth_config().solver.threads, 1);
+        assert_eq!(ExperimentProfile::Paper.synth_config().solver.threads, 1);
     }
 
     #[test]
     fn table1_csv_is_byte_identical_across_runs() {
         // The CSV keeps only seed-determined fields (iterations,
-        // agreement, outcome), so two campaigns of the same build must
-        // serialize identically byte for byte.
-        let a = crate::report::csv_table1(&table1(ExperimentProfile::Quick));
-        let b = crate::report::csv_table1(&table1(ExperimentProfile::Quick));
+        // agreement, outcome, solver box counts), so two campaigns of the
+        // same build must serialize identically byte for byte. Wall-clock
+        // solver telemetry lives in its own CSV, which makes no such
+        // promise.
+        let a_res = table1(ExperimentProfile::Quick);
+        let b_res = table1(ExperimentProfile::Quick);
+        let a = crate::report::csv_table1(&a_res);
+        let b = crate::report::csv_table1(&b_res);
         assert!(!a.is_empty() && a.lines().count() == 4, "header + 3 runs:\n{a}");
+        assert!(a.starts_with("run,iterations,agreement,outcome,boxes_explored,boxes_pruned\n"));
         assert_eq!(a, b, "table1 CSV must be deterministic");
+        let tel = crate::report::csv_table1_telemetry(&a_res);
+        assert!(tel
+            .starts_with("run,solver_queries,boxes_explored,boxes_pruned,seeding_secs,bnp_secs\n"));
+        assert_eq!(tel.lines().count(), 4, "header + 3 runs:\n{tel}");
     }
 
     #[test]

@@ -116,14 +116,37 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
 }
 
 /// CSV for Table 1: one row per run, **deterministic fields only**
-/// (iterations, agreement, termination) — no wall-clock columns, so two
-/// runs of the same build produce byte-identical files. The seed column
-/// is the run's index within the campaign.
+/// (iterations, agreement, termination, solver box counts) — no
+/// wall-clock columns, so two runs of the same build produce
+/// byte-identical files. The seed column is the run's index within the
+/// campaign. Wall-clock solver telemetry goes in
+/// [`csv_table1_telemetry`] instead.
 #[must_use]
 pub fn csv_table1(t: &Table1Result) -> String {
-    let mut s = String::from("run,iterations,agreement,outcome\n");
+    let mut s = String::from("run,iterations,agreement,outcome,boxes_explored,boxes_pruned\n");
     for (i, r) in t.runs.iter().enumerate() {
-        let _ = writeln!(s, "{},{},{},{:?}", i, r.iterations, r.agreement, r.outcome);
+        let _ = writeln!(
+            s,
+            "{},{},{},{:?},{},{}",
+            i, r.iterations, r.agreement, r.outcome, r.boxes_explored, r.boxes_pruned
+        );
+    }
+    s
+}
+
+/// Per-run solver telemetry CSV: box counts plus the wall-clock split
+/// between seeding and branch-and-prune. The timing columns vary run to
+/// run — this file intentionally makes no byte-identity promise.
+#[must_use]
+pub fn csv_table1_telemetry(t: &Table1Result) -> String {
+    let mut s =
+        String::from("run,solver_queries,boxes_explored,boxes_pruned,seeding_secs,bnp_secs\n");
+    for (i, r) in t.runs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{:.6},{:.6}",
+            i, r.solver_queries, r.boxes_explored, r.boxes_pruned, r.seeding_secs, r.bnp_secs
+        );
     }
     s
 }
@@ -185,6 +208,30 @@ mod tests {
             mean_agreement: 0.97,
             runs: Vec::new(),
         }
+    }
+
+    #[test]
+    fn table1_csv_columns() {
+        use crate::experiments::RunOutcome;
+        use cso_synth::SynthOutcome;
+        let mut t = t1();
+        t.runs.push(RunOutcome {
+            iterations: 30,
+            secs_per_iteration: 2.4,
+            total_secs: 72.0,
+            agreement: 0.97,
+            outcome: SynthOutcome::Converged,
+            solver_queries: 120,
+            boxes_explored: 4_567,
+            boxes_pruned: 1_234,
+            seeding_secs: 1.5,
+            bnp_secs: 3.25,
+        });
+        let csv = csv_table1(&t);
+        assert!(csv.contains("0,30,0.97,Converged,4567,1234"));
+        assert!(!csv.contains("3.25"), "no wall-clock fields in the deterministic CSV");
+        let tel = csv_table1_telemetry(&t);
+        assert!(tel.contains("0,120,4567,1234,1.500000,3.250000"));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::config::SynthConfig;
 use crate::oracle::{Oracle, Ranking};
 use crate::query::QueryBuilder;
 use crate::scenario::{MetricSpace, Scenario};
-use crate::stats::{IterationRecord, SynthStats};
+use crate::stats::{IterationRecord, SolverTelemetry, SynthStats};
 use cso_logic::solver::{Outcome, Solver, SolverConfig};
 use cso_logic::Model;
 use cso_prefgraph::{PrefGraph, ScenarioId};
@@ -115,6 +115,9 @@ pub struct Synthesizer {
     /// Pool of hole assignments that satisfied some recent feasibility
     /// query; used to seed later searches (most recent first, bounded).
     pool: Vec<Vec<cso_numeric::Rat>>,
+    /// Solver telemetry accumulated since the current iteration started
+    /// (drained into each [`IterationRecord`]).
+    iter_solver: SolverTelemetry,
     /// Statistics of the current/last run.
     pub stats: SynthStats,
 }
@@ -147,6 +150,7 @@ impl Synthesizer {
             rng,
             space,
             pool: Vec::new(),
+            iter_solver: SolverTelemetry::default(),
             stats: SynthStats::default(),
         })
     }
@@ -172,9 +176,35 @@ impl Synthesizer {
         let deltas: Vec<f64> =
             self.qb.deltas(self.cfg.delta_rel).into_iter().map(|d| d * delta_factor).collect();
         sc.delta_per_dim = Some(deltas);
-        sc.max_boxes = ((sc.max_boxes as f64 * budget_factor) as usize).max(1_000);
+        sc.max_boxes = Self::scale_budget(sc.max_boxes, budget_factor);
         sc.seed = self.cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed_salt);
         Solver::new(sc)
+    }
+
+    /// Scale a box budget by `factor`, clamped to `[MIN, MAX]`. A plain
+    /// `as usize` cast would saturate silently (and the saturation value is
+    /// platform-width dependent); extreme factors — escalation multipliers
+    /// compose — must land on an explicit, portable cap instead.
+    fn scale_budget(max_boxes: usize, factor: f64) -> usize {
+        /// Floor keeping escalation retries meaningful.
+        const MIN_BOX_BUDGET: usize = 1_000;
+        /// Cap: ~hours of branch-and-prune, far beyond any useful budget.
+        const MAX_BOX_BUDGET: usize = 100_000_000;
+        let scaled = max_boxes as f64 * factor;
+        if scaled.is_nan() {
+            return MIN_BOX_BUDGET;
+        }
+        if scaled >= MAX_BOX_BUDGET as f64 {
+            return MAX_BOX_BUDGET;
+        }
+        (scaled as usize).clamp(MIN_BOX_BUDGET, MAX_BOX_BUDGET)
+    }
+
+    /// Fold one finished solver query into the per-iteration and per-run
+    /// telemetry aggregates.
+    fn absorb_solver(&mut self, solver: &Solver) {
+        self.iter_solver.absorb(&solver.stats);
+        self.stats.solver_totals.absorb(&solver.stats);
     }
 
     /// All coordinate-wise combinations of the hole vectors appearing in
@@ -325,7 +355,9 @@ impl Synthesizer {
                 all_seeds.extend(combo_seeds.iter().cloned());
             }
             let mut solver = self.make_solver_scaled(salt + i as u64 * 7919, 1.0, budget);
-            match solver.solve_seeded(&feas, &self.qb.domain(), &all_seeds) {
+            let out = solver.solve_seeded(&feas, &self.qb.domain(), &all_seeds);
+            self.absorb_solver(&solver);
+            match out {
                 Outcome::Sat(m) => {
                     let holes = self.qb.model_holes(&m);
                     return self.sketch.complete(holes).map_err(|_| SynthError::NoViableCandidate);
@@ -388,7 +420,9 @@ impl Synthesizer {
             seeds.extend(extra_seeds.iter().cloned());
             let mut solver =
                 self.make_solver_scaled(salt * 1009 + attempt as u64 * 17 + 1, 1.0, 0.25);
-            let fb = match solver.solve_seeded(&fb_q, &self.qb.domain(), &seeds) {
+            let fb_out = solver.solve_seeded(&fb_q, &self.qb.domain(), &seeds);
+            self.absorb_solver(&solver);
+            let fb = match fb_out {
                 Outcome::Sat(m) => {
                     fast_path_dry = false;
                     match self.sketch.complete(self.qb.model_holes(&m)) {
@@ -412,7 +446,9 @@ impl Synthesizer {
             let sq = self.qb.scenario_disagreement(fa, &fb, exclusions);
             let mut solver2 =
                 self.make_solver_scaled(salt * 2027 + attempt as u64 * 29 + 2, 1.0, 0.25);
-            match solver2.solve(&sq, &self.qb.domain()) {
+            let sq_out = solver2.solve(&sq, &self.qb.domain());
+            self.absorb_solver(&solver2);
+            match sq_out {
                 Outcome::Sat(m) => {
                     let pair = self.qb.model_pair(&m);
                     trace(format_args!("pair found: {} vs {}", pair.0, pair.1));
@@ -437,7 +473,9 @@ impl Synthesizer {
         trace(format_args!("fast path dry; running joint proof"));
         let q = self.qb.disambiguation(&self.graph, fa, exclusions);
         let mut solver = self.make_solver_scaled(salt * 31 + 3, self.cfg.proof_delta_factor, 1.0);
-        match solver.solve(&q, &self.qb.domain()) {
+        let q_out = solver.solve(&q, &self.qb.domain());
+        self.absorb_solver(&solver);
+        match q_out {
             Outcome::Sat(m) => {
                 let pair = self.qb.model_pair(&m);
                 let from_seeding = solver.stats.sat_from_seeding;
@@ -463,6 +501,7 @@ impl Synthesizer {
     /// See [`SynthError`].
     pub fn run(&mut self, oracle: &mut dyn Oracle) -> Result<SynthResult, SynthError> {
         self.stats = SynthStats::default();
+        self.iter_solver = SolverTelemetry::default();
         let run_start = Instant::now();
 
         // Step 1: initial random scenarios (paper: 5 by default).
@@ -487,6 +526,7 @@ impl Synthesizer {
 
         for iter in 1..=self.cfg.max_iterations {
             let t0 = Instant::now();
+            self.iter_solver = SolverTelemetry::default();
 
             // Current candidate fa.
             let mut all_seeds = feas_seeds.clone();
@@ -561,6 +601,7 @@ impl Synthesizer {
                 synthesis_time,
                 scenarios_asked: asked,
                 sat_from_seeding,
+                solver: self.iter_solver,
             });
         }
 
@@ -715,6 +756,42 @@ mod tests {
             (r.objective.hole_values().to_vec(), r.stats.iterations())
         };
         assert_eq!(run(77), run(77));
+    }
+
+    #[test]
+    fn budget_scaling_is_clamped() {
+        // Sane factors scale linearly.
+        assert_eq!(Synthesizer::scale_budget(200_000, 1.0), 200_000);
+        assert_eq!(Synthesizer::scale_budget(200_000, 4.0), 800_000);
+        // Small factors keep the floor.
+        assert_eq!(Synthesizer::scale_budget(200_000, 1e-9), 1_000);
+        assert_eq!(Synthesizer::scale_budget(0, 0.0), 1_000);
+        // Extreme factors land on the explicit cap, not a silently
+        // saturated `as usize` cast.
+        assert_eq!(Synthesizer::scale_budget(200_000, 1e30), 100_000_000);
+        assert_eq!(Synthesizer::scale_budget(200_000, f64::INFINITY), 100_000_000);
+        assert_eq!(Synthesizer::scale_budget(usize::MAX, 2.0), 100_000_000);
+        // NaN (0 × ∞ upstream) degrades to the floor instead of UB-ish
+        // saturation.
+        assert_eq!(Synthesizer::scale_budget(200_000, f64::NAN), 1_000);
+    }
+
+    #[test]
+    fn solver_telemetry_is_recorded() {
+        let mut cfg = fast_cfg(42);
+        cfg.solver.threads = 1; // independent of any CSO_SOLVER_THREADS override
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).unwrap();
+        let mut oracle = GroundTruthOracle::new(swan_target());
+        let result = synth.run(&mut oracle).unwrap();
+        let totals = result.stats.solver_totals;
+        assert!(totals.queries > 0, "every run issues solver queries");
+        assert!(totals.samples_tried > 0);
+        assert_eq!(totals.max_workers, 1, "threads = 1 must run the sequential solver");
+        // Per-iteration telemetry sums to no more than the run totals
+        // (the totals also include the final convergence proof).
+        let iter_queries: usize = result.stats.records.iter().map(|r| r.solver.queries).sum();
+        assert!(iter_queries > 0);
+        assert!(iter_queries <= totals.queries);
     }
 
     #[test]

@@ -4,7 +4,48 @@
 //! the iteration count, per-iteration synthesis time and total synthesis
 //! time over nine runs; [`RunSummary`] computes exactly those.
 
+use cso_logic::solver::SolverStats;
 use std::time::Duration;
+
+/// Aggregated δ-solver telemetry, summed over some window of solver
+/// queries (one iteration, or a whole run).
+///
+/// Box and sample counts are deterministic given the seed; the two
+/// `*_time` fields are wall-clock and must stay out of any output that
+/// promises byte-identity across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverTelemetry {
+    /// Solver invocations absorbed.
+    pub queries: usize,
+    /// Boxes popped from the branch-and-prune frontier.
+    pub boxes_explored: usize,
+    /// Boxes pruned by interval refutation.
+    pub boxes_pruned: usize,
+    /// Sub-δ boxes left undecided.
+    pub residual_boxes: usize,
+    /// Exact sample evaluations (seeding + branch-and-prune).
+    pub samples_tried: usize,
+    /// Wall-clock time spent in seeding phases.
+    pub seeding_time: Duration,
+    /// Wall-clock time spent in branch-and-prune.
+    pub bnp_time: Duration,
+    /// Largest worker-thread count any absorbed query ran with.
+    pub max_workers: usize,
+}
+
+impl SolverTelemetry {
+    /// Fold one solver query's statistics into the aggregate.
+    pub fn absorb(&mut self, s: &SolverStats) {
+        self.queries += 1;
+        self.boxes_explored += s.boxes_processed;
+        self.boxes_pruned += s.boxes_pruned;
+        self.residual_boxes += s.residual_boxes;
+        self.samples_tried += s.samples_tried;
+        self.seeding_time += s.seeding_time;
+        self.bnp_time += s.bnp_time;
+        self.max_workers = self.max_workers.max(s.workers);
+    }
+}
 
 /// Per-iteration record emitted by the engine.
 #[derive(Debug, Clone)]
@@ -18,6 +59,8 @@ pub struct IterationRecord {
     pub scenarios_asked: usize,
     /// Whether the disambiguation query was answered from seeding.
     pub sat_from_seeding: bool,
+    /// Solver work performed during this iteration.
+    pub solver: SolverTelemetry,
 }
 
 /// Statistics for one synthesis run.
@@ -33,6 +76,10 @@ pub struct SynthStats {
     pub edges_recorded: usize,
     /// Edges removed by noise repair.
     pub edges_repaired: usize,
+    /// Solver work summed over the whole run (including the initial
+    /// ranking and the final convergence proof, which belong to no
+    /// iteration record).
+    pub solver_totals: SolverTelemetry,
 }
 
 impl SynthStats {
@@ -65,7 +112,9 @@ impl SynthStats {
 pub struct RunSummary {
     /// Arithmetic mean.
     pub average: f64,
-    /// Median (lower-middle for even counts, matching common practice).
+    /// Median; even-sized samples linearly interpolate between the two
+    /// middle values (`quantile(v, 0.5)`), so the median of `[1, 2, 3, 4]`
+    /// is `2.5`, not `2`.
     pub median: f64,
     /// Semi-interquartile range `(Q3 - Q1) / 2`.
     pub siqr: f64,
@@ -124,6 +173,17 @@ mod tests {
     }
 
     #[test]
+    fn summary_even_count_interpolates() {
+        // Even-sized sample: the median sits halfway between the two
+        // middle values, and the quartiles interpolate too.
+        let s = RunSummary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.average, 2.5);
+        // Q1 = 1.75, Q3 = 3.25 under linear interpolation → SIQR 0.75.
+        assert!((s.siqr - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
     fn summary_unsorted_input() {
         let s = RunSummary::of(&[9.0, 1.0, 5.0]);
         assert_eq!(s.median, 5.0);
@@ -138,6 +198,31 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_absorbs_solver_stats() {
+        let mut t = SolverTelemetry::default();
+        let mut s = SolverStats {
+            boxes_processed: 10,
+            boxes_pruned: 4,
+            residual_boxes: 1,
+            samples_tried: 25,
+            sat_from_seeding: false,
+            seeding_time: Duration::from_millis(3),
+            bnp_time: Duration::from_millis(7),
+            workers: 4,
+        };
+        t.absorb(&s);
+        s.workers = 2;
+        t.absorb(&s);
+        assert_eq!(t.queries, 2);
+        assert_eq!(t.boxes_explored, 20);
+        assert_eq!(t.boxes_pruned, 8);
+        assert_eq!(t.samples_tried, 50);
+        assert_eq!(t.seeding_time, Duration::from_millis(6));
+        assert_eq!(t.bnp_time, Duration::from_millis(14));
+        assert_eq!(t.max_workers, 4, "max, not last");
+    }
+
+    #[test]
     fn stats_aggregation() {
         let mut st = SynthStats::default();
         for i in 1..=4 {
@@ -146,6 +231,7 @@ mod tests {
                 synthesis_time: Duration::from_millis(100 * i as u64),
                 scenarios_asked: 2,
                 sat_from_seeding: false,
+                solver: SolverTelemetry::default(),
             });
         }
         st.total_time = Duration::from_secs(1);

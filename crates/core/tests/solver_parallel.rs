@@ -1,0 +1,28 @@
+//! Parallel branch-and-prune must be invisible to the synthesis loop:
+//! running the whole SWAN campaign with `solver.threads = 4` has to
+//! reproduce the sequential run exactly — same iteration count, same hole
+//! values, same rendered objective — on the real disambiguation queries,
+//! for several seeds.
+
+use cso_sketch::swan::{swan_sketch, swan_target};
+use cso_synth::{GroundTruthOracle, MetricSpace, SynthConfig, Synthesizer};
+
+fn run_swan(seed: u64, threads: usize) -> (usize, Vec<cso_numeric::Rat>, String) {
+    let mut cfg = SynthConfig::fast_test();
+    cfg.seed = seed;
+    cfg.solver.threads = threads;
+    let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg)
+        .expect("SWAN sketch matches its metric space");
+    let mut oracle = GroundTruthOracle::new(swan_target());
+    let r = synth.run(&mut oracle).expect("ground-truth oracle is consistent");
+    (r.stats.iterations(), r.objective.hole_values().to_vec(), r.objective.to_string())
+}
+
+#[test]
+fn parallel_solver_reproduces_sequential_runs() {
+    for seed in [2026u64, 7] {
+        let seq = run_swan(seed, 1);
+        let par = run_swan(seed, 4);
+        assert_eq!(seq, par, "seed {seed}: threads=4 diverged from threads=1");
+    }
+}

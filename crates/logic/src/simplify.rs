@@ -14,7 +14,7 @@
 
 use crate::term::{Formula, Term};
 use cso_numeric::Rat;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Simplify a term: constant folding plus local algebraic identities.
 #[must_use]
@@ -26,7 +26,7 @@ pub fn simplify_term(t: &Term) -> Term {
             match a {
                 Term::Const(r) => Term::Const(-r),
                 Term::Neg(inner) => (*inner).clone(),
-                other => Term::Neg(Rc::new(other)),
+                other => Term::Neg(Arc::new(other)),
             }
         }
         Term::Add(a, b) => {
@@ -36,7 +36,7 @@ pub fn simplify_term(t: &Term) -> Term {
                 (Term::Const(x), Term::Const(y)) => Term::Const(x + y),
                 (Term::Const(x), _) if x.is_zero() => b,
                 (_, Term::Const(y)) if y.is_zero() => a,
-                _ => Term::Add(Rc::new(a), Rc::new(b)),
+                _ => Term::Add(Arc::new(a), Arc::new(b)),
             }
         }
         Term::Sub(a, b) => {
@@ -45,9 +45,9 @@ pub fn simplify_term(t: &Term) -> Term {
             match (&a, &b) {
                 (Term::Const(x), Term::Const(y)) => Term::Const(x - y),
                 (_, Term::Const(y)) if y.is_zero() => a,
-                (Term::Const(x), _) if x.is_zero() => Term::Neg(Rc::new(b)),
+                (Term::Const(x), _) if x.is_zero() => Term::Neg(Arc::new(b)),
                 _ if a == b => Term::Const(Rat::zero()),
-                _ => Term::Sub(Rc::new(a), Rc::new(b)),
+                _ => Term::Sub(Arc::new(a), Arc::new(b)),
             }
         }
         Term::Mul(a, b) => {
@@ -59,7 +59,7 @@ pub fn simplify_term(t: &Term) -> Term {
                 (_, Term::Const(y)) if y.is_zero() => Term::Const(Rat::zero()),
                 (Term::Const(x), _) if x == &Rat::one() => b,
                 (_, Term::Const(y)) if y == &Rat::one() => a,
-                _ => Term::Mul(Rc::new(a), Rc::new(b)),
+                _ => Term::Mul(Arc::new(a), Arc::new(b)),
             }
         }
         Term::Div(a, b) => {
@@ -68,7 +68,7 @@ pub fn simplify_term(t: &Term) -> Term {
             match (&a, &b) {
                 (Term::Const(x), Term::Const(y)) if !y.is_zero() => Term::Const(x / y),
                 (_, Term::Const(y)) if y == &Rat::one() => a,
-                _ => Term::Div(Rc::new(a), Rc::new(b)),
+                _ => Term::Div(Arc::new(a), Arc::new(b)),
             }
         }
         Term::Min(a, b) => {
@@ -77,7 +77,7 @@ pub fn simplify_term(t: &Term) -> Term {
             match (&a, &b) {
                 (Term::Const(x), Term::Const(y)) => Term::Const(x.clone().min(y.clone())),
                 _ if a == b => a,
-                _ => Term::Min(Rc::new(a), Rc::new(b)),
+                _ => Term::Min(Arc::new(a), Arc::new(b)),
             }
         }
         Term::Max(a, b) => {
@@ -86,7 +86,7 @@ pub fn simplify_term(t: &Term) -> Term {
             match (&a, &b) {
                 (Term::Const(x), Term::Const(y)) => Term::Const(x.clone().max(y.clone())),
                 _ if a == b => a,
-                _ => Term::Max(Rc::new(a), Rc::new(b)),
+                _ => Term::Max(Arc::new(a), Arc::new(b)),
             }
         }
         Term::Ite(c, a, b) => {
@@ -97,7 +97,7 @@ pub fn simplify_term(t: &Term) -> Term {
                 Formula::True => a,
                 Formula::False => b,
                 _ if a == b => a,
-                c => Term::Ite(Rc::new(c), Rc::new(a), Rc::new(b)),
+                c => Term::Ite(Arc::new(c), Arc::new(a), Arc::new(b)),
             }
         }
     }
@@ -115,7 +115,7 @@ pub fn simplify_formula(f: &Formula) -> Formula {
             if let (Term::Const(x), Term::Const(y)) = (&a, &b) {
                 return if op.apply(x, y) { Formula::True } else { Formula::False };
             }
-            Formula::Cmp(*op, Rc::new(a), Rc::new(b))
+            Formula::Cmp(*op, Arc::new(a), Arc::new(b))
         }
         Formula::And(fs) => {
             let mut out = Vec::new();
@@ -154,7 +154,7 @@ pub fn simplify_formula(f: &Formula) -> Formula {
             Formula::False => Formula::True,
             Formula::Not(inner) => (*inner).clone(),
             Formula::Cmp(op, a, b) => Formula::Cmp(op.negate(), a, b),
-            other => Formula::Not(Rc::new(other)),
+            other => Formula::Not(Arc::new(other)),
         },
     }
 }

@@ -9,11 +9,11 @@
 //!    synthesis loop, where the previous iteration's model is usually close
 //!    to a model of the next query. Disable via
 //!    [`SolverConfig::use_seeding`] for the ablation study.
-//! 2. **Branch-and-prune** — depth-first bisection over the box. A box is
-//!    pruned when interval evaluation certainly refutes one conjunct; a box
-//!    whose every conjunct is certainly true yields a model immediately.
-//!    Boxes narrower than [`SolverConfig::delta`] in every dimension that
-//!    still cannot be decided are *residual*.
+//! 2. **Branch-and-prune** — bisection over the box. A box is pruned when
+//!    interval evaluation certainly refutes one conjunct; a box whose every
+//!    conjunct is certainly true yields a model immediately. Boxes narrower
+//!    than [`SolverConfig::delta`] in every dimension that still cannot be
+//!    decided are *residual*.
 //!
 //! The outcome is:
 //! * [`Outcome::Sat`] — with an **exactly certified** rational model;
@@ -31,6 +31,24 @@
 //! whose variables were untouched by a split keeps its verdict. The solver
 //! therefore re-evaluates only the still-unknown conjuncts that mention the
 //! split dimension.
+//!
+//! # Parallel branch-and-prune
+//!
+//! Branch-and-prune processes the subdivision frontier in deterministic
+//! *rounds*: each round pops a fixed-size batch off the depth-first stack
+//! (deepest boxes first, preserving the DFS search profile) and evaluates
+//! the batch's boxes independently — sequentially for
+//! [`SolverConfig::threads`]` == 1`, or spread over scoped worker threads
+//! pulling from the shared work queue in `cso_runtime::pool` otherwise.
+//! Every box samples from its own RNG stream forked deterministically from
+//! `(seed, box id)`, and the round winner is selected by a deterministic
+//! rule — the SAT box with the **lowest index in the batch** wins, and
+//! statistics only count boxes up to and including the winner — so the
+//! outcome, the model, and every counter are byte-identical to the
+//! sequential solver given the same seed, regardless of thread count or
+//! scheduling. Engine runs keep `threads = 1` because the repro sweeps are
+//! already parallelized one level up (one thread per run); `threads > 1`
+//! is for single-query workloads where the solver is the whole show.
 
 use crate::eval::eval_formula;
 use crate::ieval::{ieval_formula, Tri};
@@ -39,7 +57,23 @@ use crate::simplify::simplify_formula;
 use crate::term::Formula;
 use crate::vars::BoxDomain;
 use cso_numeric::{Interval, Rat};
-use cso_runtime::Rng;
+use cso_runtime::{pool, Rng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Worker threads to use when `CSO_SOLVER_THREADS` is unset: 1 (the
+/// sequential solver). The environment override lets a whole test suite or
+/// CI pass exercise the parallel path without touching every config.
+fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("CSO_SOLVER_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    })
+}
 
 /// Tuning knobs for the solver.
 #[derive(Debug, Clone)]
@@ -68,6 +102,12 @@ pub struct SolverConfig {
     pub seed: u64,
     /// Enable phase 1 (seeding). Disabled for the seeding ablation.
     pub use_seeding: bool,
+    /// Worker threads for branch-and-prune (1 = sequential). Outcomes are
+    /// byte-identical for every value; this knob only buys wall-clock.
+    /// Defaults to `CSO_SOLVER_THREADS` when set, else 1 — engine runs are
+    /// parallelized at the sweep level, so per-query parallelism is meant
+    /// for single-query workloads.
+    pub threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -81,6 +121,7 @@ impl Default for SolverConfig {
             jitters_per_seed: 16,
             seed: 0xC50_5EED,
             use_seeding: true,
+            threads: default_threads(),
         }
     }
 }
@@ -116,9 +157,13 @@ impl Outcome {
 }
 
 /// Counters describing the work done by the last `solve` call.
+///
+/// Box and sample counts are deterministic given the config and query —
+/// identical for every `threads` value; the two `*_time` fields are
+/// wall-clock and exist for telemetry only.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolverStats {
-    /// Boxes popped from the work stack.
+    /// Boxes popped from the subdivision frontier.
     pub boxes_processed: usize,
     /// Boxes pruned by interval refutation.
     pub boxes_pruned: usize,
@@ -128,6 +173,12 @@ pub struct SolverStats {
     pub samples_tried: usize,
     /// Whether the model was found during seeding (vs branch-and-prune).
     pub sat_from_seeding: bool,
+    /// Wall-clock time spent in the seeding phase.
+    pub seeding_time: Duration,
+    /// Wall-clock time spent in branch-and-prune.
+    pub bnp_time: Duration,
+    /// Worker threads branch-and-prune ran with.
+    pub workers: usize,
 }
 
 /// The solver. Holds configuration, RNG state, and last-run statistics.
@@ -139,11 +190,187 @@ pub struct Solver {
     pub stats: SolverStats,
 }
 
-/// Work item: a box plus the indices of conjuncts still undecided on it and
-/// the dimension whose split produced it (`usize::MAX` for the root).
-struct WorkItem {
+/// Boxes per branch-and-prune round. Fixed — never derived from the
+/// thread count — so the processing order, and therefore the outcome, is
+/// identical for every `SolverConfig::threads` value.
+const ROUND_SIZE: usize = 64;
+
+/// Minimum batch worth spawning worker threads for; smaller rounds run on
+/// the calling thread (same result either way, cheaper).
+const PAR_MIN_BATCH: usize = 8;
+
+/// Frontier item: a box, the indices of conjuncts still undecided on it,
+/// and the deterministic id its sampling RNG is forked from.
+struct BoxTask {
     dom: BoxDomain,
     pending: Vec<u32>,
+    id: u64,
+}
+
+/// What processing one box concluded.
+enum TaskVerdict {
+    /// An exactly certified model was found inside the box.
+    Sat(Model),
+    /// Sub-δ in every constrained dimension and sampling found nothing.
+    Residual,
+    /// Surviving children after the split (0–2 of them).
+    Split(Vec<(BoxDomain, Vec<u32>)>),
+    /// Not processed: a lower-index box in the round already found SAT.
+    Skipped,
+}
+
+/// Per-box result plus the counters its processing accrued.
+struct TaskResult {
+    verdict: TaskVerdict,
+    samples: usize,
+    pruned: usize,
+}
+
+/// Shared read-only context for processing frontier boxes (worker-safe).
+struct BnpCtx<'a> {
+    cfg: &'a SolverConfig,
+    f: &'a Formula,
+    conjuncts: &'a [Formula],
+    mentions: &'a [Vec<u32>],
+}
+
+impl BnpCtx<'_> {
+    fn delta_for(&self, dim: usize) -> f64 {
+        self.cfg
+            .delta_per_dim
+            .as_ref()
+            .and_then(|v| v.get(dim).copied())
+            .unwrap_or(self.cfg.delta)
+            .max(f64::MIN_POSITIVE)
+    }
+
+    /// The box's private RNG stream, forked deterministically from the
+    /// solver seed and the box's id — independent of which worker
+    /// processes the box or in what order.
+    fn box_rng(&self, id: u64) -> Rng {
+        Rng::seed_from_u64(
+            self.cfg.seed ^ id.wrapping_add(0x9E37_79B9).wrapping_mul(0xA24B_AED4_963E_E407),
+        )
+    }
+
+    /// A box is residual when every dimension still read by a pending
+    /// conjunct is narrower than its δ; unconstrained dimensions are
+    /// irrelevant (splitting them cannot change any verdict).
+    fn box_is_residual(&self, task: &BoxTask) -> bool {
+        task.pending.iter().all(|&ci| {
+            self.mentions[ci as usize].iter().all(|&v| {
+                let d = v as usize;
+                d >= task.dom.len() || task.dom.intervals()[d].width() <= self.delta_for(d)
+            })
+        })
+    }
+
+    /// Split the dimension with the largest width relative to its δ, among
+    /// dimensions mentioned by still-pending conjuncts (splitting a
+    /// dimension no undecided conjunct reads can never change a verdict).
+    fn pick_split_dim(&self, task: &BoxTask) -> usize {
+        let mut relevant = vec![false; task.dom.len()];
+        for &ci in &task.pending {
+            for &v in &self.mentions[ci as usize] {
+                if let Some(r) = relevant.get_mut(v as usize) {
+                    *r = true;
+                }
+            }
+        }
+        let mut best = None;
+        let mut score = f64::NEG_INFINITY;
+        for (d, &rel) in relevant.iter().enumerate() {
+            if !rel {
+                continue;
+            }
+            let w = task.dom.intervals()[d].width();
+            if w <= 0.0 {
+                continue;
+            }
+            let s = w / self.delta_for(d);
+            if s > score {
+                score = s;
+                best = Some(d);
+            }
+        }
+        best.unwrap_or_else(|| task.dom.widest_dim())
+    }
+
+    /// Process one frontier box: sample it, then either close it out
+    /// (SAT / residual) or split it and interval-check the children.
+    fn process(&self, task: &BoxTask) -> TaskResult {
+        let mut rng = self.box_rng(task.id);
+        let mut samples = 0usize;
+
+        if task.pending.is_empty() {
+            // Certainly true everywhere in the box; certify the midpoint
+            // (guaranteed to succeed unless evaluation errors).
+            samples += 1;
+            if let Some(m) = certify_exact(self.f, &Solver::mid_values(&task.dom)) {
+                return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0 };
+            }
+            for _ in 0..3 {
+                samples += 1;
+                let vals = Solver::sample_uniform(&mut rng, &task.dom);
+                if let Some(m) = certify_exact(self.f, &vals) {
+                    return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0 };
+                }
+            }
+            // All evaluations errored (division by zero on a measure-zero
+            // set can do this); treat conservatively as residual.
+            return TaskResult { verdict: TaskVerdict::Residual, samples, pruned: 0 };
+        }
+
+        // Sample inside the box.
+        for _ in 0..self.cfg.samples_per_box {
+            samples += 1;
+            let vals = Solver::sample_uniform(&mut rng, &task.dom);
+            if let Some(m) = certify_exact(self.f, &vals) {
+                return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0 };
+            }
+        }
+
+        if self.box_is_residual(task) {
+            return TaskResult { verdict: TaskVerdict::Residual, samples, pruned: 0 };
+        }
+
+        // Split on the widest dimension among those mentioned by pending
+        // conjuncts (splitting unconstrained dims cannot help).
+        let dim = self.pick_split_dim(task);
+        let (lo, hi) = task.dom.bisect(dim);
+        let mut pruned = 0usize;
+        let mut children = Vec::with_capacity(2);
+        'child: for child_dom in [lo, hi] {
+            let mut pending = Vec::with_capacity(task.pending.len());
+            for &ci in &task.pending {
+                let c = &self.conjuncts[ci as usize];
+                // Re-evaluate only conjuncts that mention the split dim;
+                // others keep their Unknown verdict on the sub-box.
+                if self.mentions[ci as usize].binary_search(&(dim as u32)).is_ok() {
+                    match ieval_formula(c, &child_dom) {
+                        Tri::False => {
+                            pruned += 1;
+                            continue 'child;
+                        }
+                        Tri::Unknown => pending.push(ci),
+                        Tri::True => {}
+                    }
+                } else {
+                    pending.push(ci);
+                }
+            }
+            children.push((child_dom, pending));
+        }
+        TaskResult { verdict: TaskVerdict::Split(children), samples, pruned }
+    }
+}
+
+/// Exact rational check of `f` at `vals` (no counters — callers count).
+fn certify_exact(f: &Formula, vals: &[Rat]) -> Option<Model> {
+    match eval_formula(f, vals) {
+        Ok(true) => Some(Model::new(vals.to_vec())),
+        _ => None,
+    }
 }
 
 impl Solver {
@@ -169,24 +396,31 @@ impl Solver {
     /// jittered). Seeds outside the box are clamped into it.
     pub fn solve_seeded(&mut self, f: &Formula, dom: &BoxDomain, seeds: &[Model]) -> Outcome {
         self.stats = SolverStats::default();
+        self.stats.workers = 1;
         let f = simplify_formula(f);
         match f {
             Formula::True => {
-                let m = self.certify(&Formula::True, &self.sample_mid(dom));
-                return Outcome::Sat(m.unwrap_or_else(|| Model::new(self.mid_values(dom))));
+                let m = self.certify(&Formula::True, &Solver::mid_values(dom));
+                return Outcome::Sat(m.unwrap_or_else(|| Model::new(Solver::mid_values(dom))));
             }
             Formula::False => return Outcome::Unsat,
             _ => {}
         }
 
         if self.cfg.use_seeding {
-            if let Some(m) = self.seeding_phase(&f, dom, seeds) {
+            let t0 = Instant::now();
+            let seeded = self.seeding_phase(&f, dom, seeds);
+            self.stats.seeding_time = t0.elapsed();
+            if let Some(m) = seeded {
                 self.stats.sat_from_seeding = true;
                 return Outcome::Sat(m);
             }
         }
 
-        self.branch_and_prune(&f, dom)
+        let t0 = Instant::now();
+        let out = self.branch_and_prune(&f, dom);
+        self.stats.bnp_time = t0.elapsed();
+        out
     }
 
     // -- phase 1: seeding ---------------------------------------------------
@@ -194,7 +428,7 @@ impl Solver {
     fn seeding_phase(&mut self, f: &Formula, dom: &BoxDomain, seeds: &[Model]) -> Option<Model> {
         // Exact seeds, clamped into the box.
         for s in seeds {
-            let vals = self.clamp_into(dom, s.values());
+            let vals = Solver::clamp_into(dom, s.values());
             if let Some(m) = self.certify(f, &vals) {
                 return Some(m);
             }
@@ -204,7 +438,7 @@ impl Solver {
         // seed first, wide ones are caught by the later large radii.
         for s in seeds {
             for j in 0..self.cfg.jitters_per_seed {
-                let vals = self.jitter(dom, s.values(), j as u32);
+                let vals = Solver::jitter(&mut self.rng, dom, s.values(), j as u32);
                 if let Some(m) = self.certify(f, &vals) {
                     return Some(m);
                 }
@@ -212,7 +446,7 @@ impl Solver {
         }
         // Uniform random samples.
         for _ in 0..self.cfg.initial_samples {
-            let vals = self.sample_uniform(dom);
+            let vals = Solver::sample_uniform(&mut self.rng, dom);
             if let Some(m) = self.certify(f, &vals) {
                 return Some(m);
             }
@@ -226,7 +460,7 @@ impl Solver {
         let conjuncts = f.conjuncts();
         if conjuncts.is_empty() {
             // f simplified to True; handled earlier, but stay safe.
-            return Outcome::Sat(Model::new(self.mid_values(dom)));
+            return Outcome::Sat(Model::new(Solver::mid_values(dom)));
         }
         let mentions: Vec<Vec<u32>> =
             conjuncts.iter().map(|c| c.vars().iter().map(|v| v.0).collect()).collect();
@@ -244,69 +478,74 @@ impl Solver {
                 Tri::True => {}
             }
         }
-        let mut stack = vec![WorkItem { dom: dom.clone(), pending: root_pending }];
 
-        while let Some(item) = stack.pop() {
-            self.stats.boxes_processed += 1;
-            if self.stats.boxes_processed > self.cfg.max_boxes {
+        let workers = self.cfg.threads.clamp(1, ROUND_SIZE);
+        self.stats.workers = workers;
+        let ctx = BnpCtx { cfg: &self.cfg, f, conjuncts: &conjuncts, mentions: &mentions };
+
+        // Depth-first stack of unexplored boxes; the top is the deepest.
+        let mut stack = vec![BoxTask { dom: dom.clone(), pending: root_pending, id: 0 }];
+        let mut next_id: u64 = 1;
+
+        while !stack.is_empty() {
+            let remaining = self.cfg.max_boxes.saturating_sub(self.stats.boxes_processed);
+            if remaining == 0 {
                 return Outcome::Exhausted;
             }
+            // Pop a fixed-size batch; batch[0] is the stack top — exactly
+            // the box a sequential DFS would pop first.
+            let b = ROUND_SIZE.min(stack.len()).min(remaining);
+            let mut batch: Vec<BoxTask> = Vec::with_capacity(b);
+            for _ in 0..b {
+                batch.push(stack.pop().expect("b <= stack.len()"));
+            }
 
-            if item.pending.is_empty() {
-                // Certainly true everywhere in the box; certify the midpoint
-                // (guaranteed to succeed unless evaluation errors).
-                if let Some(m) = self.certify(f, &self.mid_values(&item.dom)) {
-                    return Outcome::Sat(m);
-                }
-                for _ in 0..3 {
-                    let vals = self.sample_uniform(&item.dom);
-                    if let Some(m) = self.certify(f, &vals) {
-                        return Outcome::Sat(m);
+            let results = if workers > 1 && b >= PAR_MIN_BATCH {
+                Solver::run_batch_parallel(&ctx, &batch, workers)
+            } else {
+                Solver::run_batch_sequential(&ctx, &batch)
+            };
+
+            // Deterministic selection and accounting: scan in batch order
+            // and stop at the first SAT (lowest box index wins). Work a
+            // parallel round performed past the winner is discarded, so
+            // every counter matches the sequential solver exactly.
+            let mut sat: Option<Model> = None;
+            let mut child_sets: Vec<Vec<(BoxDomain, Vec<u32>)>> = Vec::with_capacity(b);
+            for res in results {
+                match res.verdict {
+                    TaskVerdict::Skipped => {
+                        // Unreachable before the winning index by
+                        // construction; never counted.
+                        debug_assert!(false, "skip below the winning box");
+                        continue;
                     }
-                }
-                // All evaluations errored (division by zero on a measure-zero
-                // set can do this); treat conservatively as residual.
-                self.stats.residual_boxes += 1;
-                continue;
-            }
-
-            // Sample inside the box.
-            for _ in 0..self.cfg.samples_per_box {
-                let vals = self.sample_uniform(&item.dom);
-                if let Some(m) = self.certify(f, &vals) {
-                    return Outcome::Sat(m);
-                }
-            }
-
-            if self.box_is_residual(&item, &mentions) {
-                self.stats.residual_boxes += 1;
-                continue;
-            }
-
-            // Split on the widest dimension among those mentioned by pending
-            // conjuncts (splitting unconstrained dims cannot help).
-            let dim = self.pick_split_dim(&item, &mentions);
-            let (lo, hi) = item.dom.bisect(dim);
-            'child: for child_dom in [lo, hi] {
-                let mut pending = Vec::with_capacity(item.pending.len());
-                for &ci in &item.pending {
-                    let c = &conjuncts[ci as usize];
-                    // Re-evaluate only conjuncts that mention the split dim;
-                    // others keep their Unknown verdict on the sub-box.
-                    if mentions[ci as usize].binary_search(&(dim as u32)).is_ok() {
-                        match ieval_formula(c, &child_dom) {
-                            Tri::False => {
-                                self.stats.boxes_pruned += 1;
-                                continue 'child;
+                    verdict => {
+                        self.stats.boxes_processed += 1;
+                        self.stats.samples_tried += res.samples;
+                        self.stats.boxes_pruned += res.pruned;
+                        match verdict {
+                            TaskVerdict::Sat(m) => {
+                                sat = Some(m);
+                                break;
                             }
-                            Tri::Unknown => pending.push(ci),
-                            Tri::True => {}
+                            TaskVerdict::Residual => self.stats.residual_boxes += 1,
+                            TaskVerdict::Split(children) => child_sets.push(children),
+                            TaskVerdict::Skipped => unreachable!("matched above"),
                         }
-                    } else {
-                        pending.push(ci);
                     }
                 }
-                stack.push(WorkItem { dom: child_dom, pending });
+            }
+            if let Some(m) = sat {
+                return Outcome::Sat(m);
+            }
+            // Push children so that batch[0]'s high child ends up on top,
+            // matching the order a sequential DFS would explore.
+            for children in child_sets.into_iter().rev() {
+                for (child_dom, pending) in children {
+                    stack.push(BoxTask { dom: child_dom, pending, id: next_id });
+                    next_id += 1;
+                }
             }
         }
 
@@ -317,56 +556,40 @@ impl Solver {
         }
     }
 
-    fn delta_for(&self, dim: usize) -> f64 {
-        self.cfg
-            .delta_per_dim
-            .as_ref()
-            .and_then(|v| v.get(dim).copied())
-            .unwrap_or(self.cfg.delta)
-            .max(f64::MIN_POSITIVE)
+    /// Sequential round: process boxes in order, stopping at the first
+    /// SAT (the boxes after it are this round's discarded work).
+    fn run_batch_sequential(ctx: &BnpCtx<'_>, batch: &[BoxTask]) -> Vec<TaskResult> {
+        let mut out = Vec::with_capacity(batch.len());
+        for task in batch {
+            let res = ctx.process(task);
+            let is_sat = matches!(res.verdict, TaskVerdict::Sat(_));
+            out.push(res);
+            if is_sat {
+                break;
+            }
+        }
+        out
     }
 
-    /// A box is residual when every dimension still read by a pending
-    /// conjunct is narrower than its δ; unconstrained dimensions are
-    /// irrelevant (splitting them cannot change any verdict).
-    fn box_is_residual(&self, item: &WorkItem, mentions: &[Vec<u32>]) -> bool {
-        item.pending.iter().all(|&ci| {
-            mentions[ci as usize].iter().all(|&v| {
-                let d = v as usize;
-                d >= item.dom.len() || item.dom.intervals()[d].width() <= self.delta_for(d)
-            })
+    /// Parallel round: workers pull box indices from the shared work
+    /// queue. `best_sat` is the early-exit flag — an `AtomicUsize`
+    /// rather than a plain "SAT found" bool because a SAT at a *higher*
+    /// index must not suppress boxes that precede it in the deterministic
+    /// order (the lowest SAT index wins the round). A skipped box is
+    /// therefore always above the winner, and the winner-prefix scan in
+    /// `branch_and_prune` never observes it.
+    fn run_batch_parallel(ctx: &BnpCtx<'_>, batch: &[BoxTask], workers: usize) -> Vec<TaskResult> {
+        let best_sat = AtomicUsize::new(usize::MAX);
+        pool::scoped_map((0..batch.len()).collect(), workers, |i: usize| {
+            if best_sat.load(Ordering::Relaxed) < i {
+                return TaskResult { verdict: TaskVerdict::Skipped, samples: 0, pruned: 0 };
+            }
+            let res = ctx.process(&batch[i]);
+            if matches!(res.verdict, TaskVerdict::Sat(_)) {
+                best_sat.fetch_min(i, Ordering::Relaxed);
+            }
+            res
         })
-    }
-
-    /// Split the dimension with the largest width relative to its δ, among
-    /// dimensions mentioned by still-pending conjuncts (splitting a
-    /// dimension no undecided conjunct reads can never change a verdict).
-    fn pick_split_dim(&self, item: &WorkItem, mentions: &[Vec<u32>]) -> usize {
-        let mut relevant = vec![false; item.dom.len()];
-        for &ci in &item.pending {
-            for &v in &mentions[ci as usize] {
-                if let Some(r) = relevant.get_mut(v as usize) {
-                    *r = true;
-                }
-            }
-        }
-        let mut best = None;
-        let mut score = f64::NEG_INFINITY;
-        for (d, &rel) in relevant.iter().enumerate() {
-            if !rel {
-                continue;
-            }
-            let w = item.dom.intervals()[d].width();
-            if w <= 0.0 {
-                continue;
-            }
-            let s = w / self.delta_for(d);
-            if s > score {
-                score = s;
-                best = Some(d);
-            }
-        }
-        best.unwrap_or_else(|| item.dom.widest_dim())
     }
 
     // -- sampling helpers -----------------------------------------------------
@@ -403,18 +626,18 @@ impl Solver {
         }
     }
 
-    fn sample_uniform(&mut self, dom: &BoxDomain) -> Vec<Rat> {
+    fn sample_uniform(rng: &mut Rng, dom: &BoxDomain) -> Vec<Rat> {
         (0..dom.len())
             .map(|i| {
                 let iv = dom.intervals()[i];
                 let (lo, hi) = Solver::clamp_iv(iv);
-                let x = if lo == hi { lo } else { self.rng.random_range(lo..=hi) };
+                let x = if lo == hi { lo } else { rng.random_range(lo..=hi) };
                 Solver::rat_in(iv, x)
             })
             .collect()
     }
 
-    fn mid_values(&self, dom: &BoxDomain) -> Vec<Rat> {
+    fn mid_values(dom: &BoxDomain) -> Vec<Rat> {
         (0..dom.len())
             .map(|i| {
                 let iv = dom.intervals()[i];
@@ -423,11 +646,7 @@ impl Solver {
             .collect()
     }
 
-    fn sample_mid(&self, dom: &BoxDomain) -> Vec<Rat> {
-        self.mid_values(dom)
-    }
-
-    fn clamp_into(&self, dom: &BoxDomain, vals: &[Rat]) -> Vec<Rat> {
+    fn clamp_into(dom: &BoxDomain, vals: &[Rat]) -> Vec<Rat> {
         (0..dom.len())
             .map(|i| {
                 let iv = dom.intervals()[i];
@@ -443,7 +662,7 @@ impl Solver {
             .collect()
     }
 
-    fn jitter(&mut self, dom: &BoxDomain, vals: &[Rat], step: u32) -> Vec<Rat> {
+    fn jitter(rng: &mut Rng, dom: &BoxDomain, vals: &[Rat], step: u32) -> Vec<Rat> {
         // Radius factor: 0.4% of the range at step 0, growing ~1.5x per
         // step, capped at 15%.
         let factor = (0.004 * 1.5f64.powi(step as i32 / 2)).min(0.15);
@@ -453,7 +672,7 @@ impl Solver {
                 let (lo, hi) = Solver::clamp_iv(iv);
                 let center = vals.get(i).map_or_else(|| iv.midpoint(), Rat::to_f64);
                 let radius = ((hi - lo) * factor).max(1e-6);
-                let x = center + self.rng.random_range(-radius..=radius);
+                let x = center + rng.random_range(-radius..=radius);
                 Solver::rat_in(iv, x)
             })
             .collect()
@@ -461,10 +680,7 @@ impl Solver {
 
     fn certify(&mut self, f: &Formula, vals: &[Rat]) -> Option<Model> {
         self.stats.samples_tried += 1;
-        match eval_formula(f, vals) {
-            Ok(true) => Some(Model::new(vals.to_vec())),
-            _ => None,
-        }
+        certify_exact(f, vals)
     }
 }
 
@@ -649,6 +865,74 @@ mod tests {
         let m1 = Solver::new(SolverConfig::default()).solve(&f, &d);
         let m2 = Solver::new(SolverConfig::default()).solve(&f, &d);
         assert_eq!(m1, m2);
+    }
+
+    /// The parallel solver must be bit-for-bit the sequential solver:
+    /// same outcome, same model, same deterministic counters — for SAT
+    /// found by branch-and-prune, UNSAT proofs, and δ-UNSAT residue.
+    #[test]
+    fn parallel_matches_sequential_byte_for_byte() {
+        let (_, d, x, y) = setup2();
+        let queries: Vec<Formula> = vec![
+            // SAT only reachable through branch-and-prune sampling.
+            Formula::and(vec![
+                Term::var(x).add(Term::var(y)).ge(Term::constant(Rat::from_frac(4999, 1000))),
+                Term::var(x).add(Term::var(y)).le(Term::constant(Rat::from_frac(5001, 1000))),
+            ]),
+            // UNSAT requiring subdivision.
+            Formula::and(vec![
+                Term::var(x).mul(Term::var(y)).ge(Term::int(60)),
+                Term::var(x).add(Term::var(y)).le(Term::int(10)),
+            ]),
+            // Nonlinear SAT band.
+            Formula::and(vec![
+                Term::var(x).mul(Term::var(y)).ge(Term::int(12)),
+                Term::var(x).mul(Term::var(y)).le(Term::int(13)),
+                Term::var(x).gt(Term::var(y)),
+            ]),
+        ];
+        for seed in [1u64, 7, 0xC50_5EED] {
+            for (qi, f) in queries.iter().enumerate() {
+                let cfg1 = SolverConfig {
+                    seed,
+                    use_seeding: false,
+                    threads: 1,
+                    ..SolverConfig::default()
+                };
+                let cfg4 = SolverConfig { threads: 4, ..cfg1.clone() };
+                let mut s1 = Solver::new(cfg1);
+                let mut s4 = Solver::new(cfg4);
+                let o1 = s1.solve(f, &d);
+                let o4 = s4.solve(f, &d);
+                assert_eq!(o1, o4, "seed {seed} query {qi}: outcomes diverged");
+                assert_eq!(
+                    format!("{o1:?}"),
+                    format!("{o4:?}"),
+                    "seed {seed} query {qi}: rendered outcomes diverged"
+                );
+                assert_eq!(
+                    (s1.stats.boxes_processed, s1.stats.boxes_pruned, s1.stats.samples_tried),
+                    (s4.stats.boxes_processed, s4.stats.boxes_pruned, s4.stats.samples_tried),
+                    "seed {seed} query {qi}: deterministic counters diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_workers_and_phase_times() {
+        let (_, d, x, y) = setup2();
+        let f = Formula::and(vec![
+            Term::var(x).mul(Term::var(y)).ge(Term::int(60)),
+            Term::var(x).add(Term::var(y)).le(Term::int(10)),
+        ]);
+        let cfg = SolverConfig { threads: 3, use_seeding: false, ..SolverConfig::default() };
+        let mut s = Solver::new(cfg);
+        let out = s.solve(&f, &d);
+        assert!(out.is_unsat_like());
+        assert_eq!(s.stats.workers, 3);
+        assert!(s.stats.bnp_time > Duration::ZERO, "branch-and-prune time must be recorded");
+        assert_eq!(s.stats.seeding_time, Duration::ZERO, "seeding disabled, no seeding time");
     }
 
     #[test]

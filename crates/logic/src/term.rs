@@ -9,7 +9,7 @@
 use crate::vars::VarId;
 use cso_numeric::Rat;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Comparison operators usable in formula atoms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,7 +85,7 @@ impl fmt::Display for CmpOp {
 
 /// A real-valued expression.
 ///
-/// Shared subtrees use [`Rc`], so cloning a term is cheap and lowering a
+/// Shared subtrees use [`Arc`], so cloning a term is cheap and lowering a
 /// sketch once per preference-graph edge does not blow up memory.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Term {
@@ -94,21 +94,21 @@ pub enum Term {
     /// An interned variable.
     Var(VarId),
     /// Unary negation.
-    Neg(Rc<Term>),
+    Neg(Arc<Term>),
     /// Binary sum.
-    Add(Rc<Term>, Rc<Term>),
+    Add(Arc<Term>, Arc<Term>),
     /// Binary difference.
-    Sub(Rc<Term>, Rc<Term>),
+    Sub(Arc<Term>, Arc<Term>),
     /// Binary product.
-    Mul(Rc<Term>, Rc<Term>),
+    Mul(Arc<Term>, Arc<Term>),
     /// Binary quotient (division by zero is an evaluation error).
-    Div(Rc<Term>, Rc<Term>),
+    Div(Arc<Term>, Arc<Term>),
     /// Pointwise minimum.
-    Min(Rc<Term>, Rc<Term>),
+    Min(Arc<Term>, Arc<Term>),
     /// Pointwise maximum.
-    Max(Rc<Term>, Rc<Term>),
+    Max(Arc<Term>, Arc<Term>),
     /// `if cond then a else b`.
-    Ite(Rc<Formula>, Rc<Term>, Rc<Term>),
+    Ite(Arc<Formula>, Arc<Term>, Arc<Term>),
 }
 
 // Builder methods deliberately mirror the operator names (`add`, `mul`, …):
@@ -137,49 +137,49 @@ impl Term {
     /// `-self`.
     #[must_use]
     pub fn neg(self) -> Term {
-        Term::Neg(Rc::new(self))
+        Term::Neg(Arc::new(self))
     }
 
     /// `self + rhs`.
     #[must_use]
     pub fn add(self, rhs: Term) -> Term {
-        Term::Add(Rc::new(self), Rc::new(rhs))
+        Term::Add(Arc::new(self), Arc::new(rhs))
     }
 
     /// `self - rhs`.
     #[must_use]
     pub fn sub(self, rhs: Term) -> Term {
-        Term::Sub(Rc::new(self), Rc::new(rhs))
+        Term::Sub(Arc::new(self), Arc::new(rhs))
     }
 
     /// `self * rhs`.
     #[must_use]
     pub fn mul(self, rhs: Term) -> Term {
-        Term::Mul(Rc::new(self), Rc::new(rhs))
+        Term::Mul(Arc::new(self), Arc::new(rhs))
     }
 
     /// `self / rhs`.
     #[must_use]
     pub fn div(self, rhs: Term) -> Term {
-        Term::Div(Rc::new(self), Rc::new(rhs))
+        Term::Div(Arc::new(self), Arc::new(rhs))
     }
 
     /// `min(self, rhs)`.
     #[must_use]
     pub fn min(self, rhs: Term) -> Term {
-        Term::Min(Rc::new(self), Rc::new(rhs))
+        Term::Min(Arc::new(self), Arc::new(rhs))
     }
 
     /// `max(self, rhs)`.
     #[must_use]
     pub fn max(self, rhs: Term) -> Term {
-        Term::Max(Rc::new(self), Rc::new(rhs))
+        Term::Max(Arc::new(self), Arc::new(rhs))
     }
 
     /// `if cond then self else other`.
     #[must_use]
     pub fn ite(cond: Formula, then: Term, els: Term) -> Term {
-        Term::Ite(Rc::new(cond), Rc::new(then), Rc::new(els))
+        Term::Ite(Arc::new(cond), Arc::new(then), Arc::new(els))
     }
 
     /// `self < rhs` as a formula atom.
@@ -257,29 +257,29 @@ impl Term {
         match self {
             Term::Const(_) => self.clone(),
             Term::Var(v) => subst(*v).unwrap_or_else(|| self.clone()),
-            Term::Neg(a) => Term::Neg(Rc::new(a.substitute(subst))),
+            Term::Neg(a) => Term::Neg(Arc::new(a.substitute(subst))),
             Term::Add(a, b) => {
-                Term::Add(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+                Term::Add(Arc::new(a.substitute(subst)), Arc::new(b.substitute(subst)))
             }
             Term::Sub(a, b) => {
-                Term::Sub(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+                Term::Sub(Arc::new(a.substitute(subst)), Arc::new(b.substitute(subst)))
             }
             Term::Mul(a, b) => {
-                Term::Mul(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+                Term::Mul(Arc::new(a.substitute(subst)), Arc::new(b.substitute(subst)))
             }
             Term::Div(a, b) => {
-                Term::Div(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+                Term::Div(Arc::new(a.substitute(subst)), Arc::new(b.substitute(subst)))
             }
             Term::Min(a, b) => {
-                Term::Min(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+                Term::Min(Arc::new(a.substitute(subst)), Arc::new(b.substitute(subst)))
             }
             Term::Max(a, b) => {
-                Term::Max(Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+                Term::Max(Arc::new(a.substitute(subst)), Arc::new(b.substitute(subst)))
             }
             Term::Ite(c, a, b) => Term::Ite(
-                Rc::new(c.substitute(subst)),
-                Rc::new(a.substitute(subst)),
-                Rc::new(b.substitute(subst)),
+                Arc::new(c.substitute(subst)),
+                Arc::new(a.substitute(subst)),
+                Arc::new(b.substitute(subst)),
             ),
         }
     }
@@ -309,13 +309,13 @@ pub enum Formula {
     /// Constant falsehood.
     False,
     /// An atomic comparison `lhs op rhs`.
-    Cmp(CmpOp, Rc<Term>, Rc<Term>),
+    Cmp(CmpOp, Arc<Term>, Arc<Term>),
     /// Conjunction (empty = true).
     And(Vec<Formula>),
     /// Disjunction (empty = false).
     Or(Vec<Formula>),
     /// Negation.
-    Not(Rc<Formula>),
+    Not(Arc<Formula>),
 }
 
 // Same rationale as `Term`: `not` constructs a node, it doesn't evaluate.
@@ -324,7 +324,7 @@ impl Formula {
     /// An atomic comparison.
     #[must_use]
     pub fn cmp(op: CmpOp, lhs: Term, rhs: Term) -> Formula {
-        Formula::Cmp(op, Rc::new(lhs), Rc::new(rhs))
+        Formula::Cmp(op, Arc::new(lhs), Arc::new(rhs))
     }
 
     /// Conjunction of the given formulas.
@@ -342,7 +342,7 @@ impl Formula {
     /// Logical negation.
     #[must_use]
     pub fn not(f: Formula) -> Formula {
-        Formula::Not(Rc::new(f))
+        Formula::Not(Arc::new(f))
     }
 
     /// Collect the set of variables mentioned (deduplicated, sorted).
@@ -377,11 +377,11 @@ impl Formula {
         match self {
             Formula::True | Formula::False => self.clone(),
             Formula::Cmp(op, a, b) => {
-                Formula::Cmp(*op, Rc::new(a.substitute(subst)), Rc::new(b.substitute(subst)))
+                Formula::Cmp(*op, Arc::new(a.substitute(subst)), Arc::new(b.substitute(subst)))
             }
             Formula::And(fs) => Formula::And(fs.iter().map(|f| f.substitute(subst)).collect()),
             Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.substitute(subst)).collect()),
-            Formula::Not(f) => Formula::Not(Rc::new(f.substitute(subst))),
+            Formula::Not(f) => Formula::Not(Arc::new(f.substitute(subst))),
         }
     }
 

@@ -2,7 +2,6 @@
 //! graph (scenarios collapsed into indifference classes).
 
 use crate::graph::{EdgeId, PrefGraph, ScenarioId};
-use std::collections::HashMap;
 
 /// Find a directed cycle among active edges (over indifference classes).
 /// Returns the edge ids forming the cycle, or `None` if the graph is a DAG.
@@ -74,44 +73,44 @@ pub fn find_cycle<S>(g: &PrefGraph<S>) -> Option<Vec<EdgeId>> {
 
 /// Topological order of indifference-class representatives, most preferred
 /// first. Returns `None` if the graph has a cycle.
+///
+/// Kahn's algorithm over per-class adjacency lists — O((V + E) log V) for
+/// the heap — with deterministic tie-breaking: among classes whose every
+/// predecessor is already placed, the smallest class id comes first.
 #[must_use]
 pub fn topo_order<S>(g: &PrefGraph<S>) -> Option<Vec<ScenarioId>> {
     let n = g.scenario_count();
-    let mut indeg: HashMap<usize, usize> = HashMap::new();
-    let mut reps: Vec<usize> = Vec::new();
-    for id in 0..n {
-        let rep = g.class_of(ScenarioId(id)).index();
-        if rep == id {
-            reps.push(id);
-            indeg.entry(id).or_insert(0);
-        }
-    }
-    let mut adj: Vec<(usize, usize)> = Vec::new();
+    let is_rep: Vec<bool> = (0..n).map(|id| g.class_of(ScenarioId(id)).index() == id).collect();
+    let rep_count = is_rep.iter().filter(|&&r| r).count();
+    // Per-class adjacency and in-degrees, built once (O(V + E)). Parallel
+    // edges are kept: each contributes one in-degree and is consumed once.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
     for e in g.active_edges() {
         let u = g.class_of(e.preferred).index();
         let v = g.class_of(e.other).index();
         if u == v {
             return None;
         }
-        adj.push((u, v));
-        *indeg.entry(v).or_insert(0) += 1;
+        adj[u].push(v);
+        indeg[v] += 1;
     }
-    let mut queue: Vec<usize> = reps.iter().copied().filter(|r| indeg[r] == 0).collect();
-    queue.sort_unstable();
-    let mut out = Vec::with_capacity(reps.len());
-    while let Some(u) = queue.pop() {
+    // Min-heap: the ready class with the smallest id is placed first, so
+    // equally-preferred roots appear in id order ("most preferred first"
+    // with deterministic ties).
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&r| is_rep[r] && indeg[r] == 0).map(std::cmp::Reverse).collect();
+    let mut out = Vec::with_capacity(rep_count);
+    while let Some(std::cmp::Reverse(u)) = ready.pop() {
         out.push(ScenarioId(u));
-        for &(a, b) in &adj {
-            if a == u {
-                let d = indeg.get_mut(&b).expect("known rep");
-                *d -= 1;
-                if *d == 0 {
-                    queue.push(b);
-                }
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                ready.push(std::cmp::Reverse(v));
             }
         }
     }
-    if out.len() == reps.len() {
+    if out.len() == rep_count {
         Some(out)
     } else {
         None
@@ -205,6 +204,37 @@ mod tests {
         let pos = |x: ScenarioId| order.iter().position(|&y| y == x).unwrap();
         assert!(pos(a) < pos(b));
         assert!(pos(b) < pos(c));
+    }
+
+    #[test]
+    fn topo_order_breaks_ties_by_smallest_id() {
+        // Two independent chains: a0 > a2 and a1 > a3. Every prefix of the
+        // order must list ready classes smallest-id first: [a0, a1, a2, a3].
+        let mut g = PrefGraph::new();
+        let ids: Vec<ScenarioId> = (0..4).map(|_| g.add_scenario(())).collect();
+        g.prefer(ids[0], ids[2]).unwrap();
+        g.prefer(ids[1], ids[3]).unwrap();
+        let order = topo_order(&g).expect("dag");
+        assert_eq!(order, vec![ids[0], ids[1], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn topo_order_with_indifference_classes_and_parallel_edges() {
+        // b and c collapse into one class; duplicate edges into d must not
+        // strand d's in-degree.
+        let mut g = PrefGraph::new();
+        let a = g.add_scenario(());
+        let b = g.add_scenario(());
+        let c = g.add_scenario(());
+        let d = g.add_scenario(());
+        g.mark_indifferent(b, c).unwrap();
+        g.prefer(a, b).unwrap();
+        g.prefer_unchecked(b, d, 1.0);
+        g.prefer_unchecked(c, d, 1.0);
+        let order = topo_order(&g).expect("dag");
+        assert_eq!(order.len(), 3, "one entry per class");
+        assert_eq!(order.first(), Some(&a));
+        assert_eq!(order.last(), Some(&d));
     }
 
     #[test]

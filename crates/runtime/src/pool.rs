@@ -2,13 +2,18 @@
 //!
 //! The repro harness runs 9 independent synthesis runs per configuration
 //! (Table 1, Figures 3–5); each run is seconds of CPU-bound exact
-//! arithmetic, so chunked distribution over OS threads is all the
-//! parallelism the workload needs. Work is split into at most
-//! `max_threads` contiguous chunks (one thread per chunk), results come
-//! back in input order, and a panic in any worker is propagated to the
-//! caller after the scope joins — never swallowed.
+//! arithmetic. Work is distributed through a shared [`WorkQueue`]: every
+//! worker pulls the next unclaimed item from an atomic cursor, so all
+//! `min(n, max_threads)` workers stay busy regardless of how `n` divides
+//! by the thread count or how skewed the per-item cost is. (The previous
+//! contiguous-chunk split ran the paper's 9-run sweep as chunks of
+//! 2,2,2,2,1 on an 8-core host — three cores idle the whole campaign.)
+//! Results come back in input order, and a panic in any worker is
+//! propagated to the caller after the scope joins — never swallowed.
 
 use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads the host offers (≥ 1).
 #[must_use]
@@ -16,8 +21,56 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Apply `f` to every item, distributing contiguous chunks over at most
-/// `max_threads` scoped threads. Results are returned in input order.
+/// A shared single-producer work queue: items are claimed one at a time
+/// through an atomic cursor, so concurrent consumers self-balance — a
+/// worker that drew an expensive item simply claims fewer items.
+///
+/// The per-slot `Mutex` is uncontended by construction (the cursor hands
+/// each index to exactly one consumer); it exists only to move the item
+/// out without `unsafe`.
+pub struct WorkQueue<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    cursor: AtomicUsize,
+}
+
+impl<T> WorkQueue<T> {
+    /// Build a queue over `items`; claiming order is input order.
+    #[must_use]
+    pub fn new(items: Vec<T>) -> WorkQueue<T> {
+        WorkQueue {
+            slots: items.into_iter().map(|it| Mutex::new(Some(it))).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total number of items the queue started with.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the queue started empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Claim the next item, returning it with its input index, or `None`
+    /// when the queue is drained.
+    pub fn take(&self) -> Option<(usize, T)> {
+        if self.cursor.load(Ordering::Relaxed) >= self.slots.len() {
+            return None;
+        }
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slots.get(i)?;
+        let item = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        item.map(|it| (i, it))
+    }
+}
+
+/// Apply `f` to every item, distributing work over at most `max_threads`
+/// scoped threads pulling from a shared [`WorkQueue`]. Results are
+/// returned in input order.
 ///
 /// With `max_threads <= 1` (or a single item) the map runs on the calling
 /// thread — the degenerate case costs nothing and keeps single-core hosts
@@ -37,33 +90,35 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let chunk_len = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items.into_iter();
-    loop {
-        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(chunk);
-    }
-
+    let queue = &WorkQueue::new(items);
     let f = &f;
-    let mut out: Vec<R> = Vec::with_capacity(n);
     let results = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut part: Vec<(usize, R)> = Vec::new();
+                    while let Some((i, item)) = queue.take() {
+                        part.push((i, f(item)));
+                    }
+                    part
+                })
+            })
             .collect();
         handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect::<Vec<_>>()
     });
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for r in results {
         match r {
-            Ok(mut part) => out.append(&mut part),
+            Ok(part) => {
+                for (i, v) in part {
+                    out[i] = Some(v);
+                }
+            }
             Err(payload) => resume_unwind(payload),
         }
     }
-    out
+    out.into_iter().map(|o| o.expect("queue hands every index to exactly one worker")).collect()
 }
 
 /// [`scoped_map`] over all available threads.
@@ -79,7 +134,12 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::prop;
+    use crate::prop_assert_eq;
+    use std::collections::HashSet;
+    use std::sync::Condvar;
+    use std::thread::ThreadId;
+    use std::time::Duration;
 
     #[test]
     fn maps_in_order() {
@@ -109,8 +169,9 @@ mod tests {
 
     #[test]
     fn actually_uses_multiple_threads() {
-        // Not a strict guarantee, but with 4 chunks at least 2 distinct
-        // worker identities should appear on a multi-core host.
+        // Not a strict guarantee, but with 64 items over 4 workers at
+        // least 2 distinct worker identities should appear on a
+        // multi-core host.
         if available_threads() < 2 {
             return;
         }
@@ -131,5 +192,64 @@ mod tests {
             })
         });
         assert!(caught.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn work_queue_hands_out_every_item_once() {
+        let q = WorkQueue::new((0..10).collect::<Vec<i32>>());
+        assert_eq!(q.len(), 10);
+        let mut seen = Vec::new();
+        while let Some((i, v)) = q.take() {
+            assert_eq!(i as i32, v);
+            seen.push(v);
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<i32>>());
+        assert!(q.take().is_none(), "drained queue stays drained");
+    }
+
+    /// The Table 1 shape that exposed the chunking bug: 9 items on 8
+    /// threads must put work on all 8 workers, not 5. Each worker blocks
+    /// inside its first item until `threads` distinct worker identities
+    /// have checked in, so the test deadlocks into a timeout (and fails)
+    /// if any spawned worker never receives an item.
+    #[test]
+    fn nine_items_occupy_all_eight_workers() {
+        const ITEMS: usize = 9;
+        const THREADS: usize = 8;
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let all_in = Condvar::new();
+        let out = scoped_map((0..ITEMS).collect(), THREADS, |x: usize| {
+            let mut seen = ids.lock().unwrap();
+            seen.insert(std::thread::current().id());
+            all_in.notify_all();
+            let deadline = Duration::from_secs(30);
+            while seen.len() < THREADS {
+                let (guard, timeout) = all_in.wait_timeout(seen, deadline).unwrap();
+                seen = guard;
+                assert!(
+                    !timeout.timed_out(),
+                    "only {} of {THREADS} workers ever received work",
+                    seen.len()
+                );
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..ITEMS).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(ids.lock().unwrap().len(), THREADS);
+    }
+
+    /// Property: the work-queue map equals the sequential map for
+    /// arbitrary `n` and `threads`, including every `n % threads != 0`
+    /// shape.
+    #[test]
+    fn prop_scoped_map_matches_sequential() {
+        let gen = prop::zip2(prop::usize_in(0, 40), prop::usize_in(1, 9));
+        prop::check("scoped_map_matches_sequential", &gen, |&(n, threads)| {
+            let items: Vec<usize> = (0..n).collect();
+            let expect: Vec<usize> = items.iter().map(|x| x.wrapping_mul(31) ^ 7).collect();
+            let got = scoped_map(items, threads, |x: usize| x.wrapping_mul(31) ^ 7);
+            prop_assert_eq!(got, expect);
+            Ok(())
+        });
     }
 }
