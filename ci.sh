@@ -29,4 +29,36 @@ cargo test -q --workspace --offline
 echo "==> cargo test (CSO_SOLVER_THREADS=4)"
 CSO_SOLVER_THREADS=4 cargo test -q --workspace --offline
 
+# Third pass with the incremental caches killed: the differential tests
+# (crates/core/tests/incremental_equivalence.rs) compare cache-on vs
+# cache-off inside one process; this pass additionally proves the whole
+# suite is cache-agnostic end to end via the process-wide kill-switch.
+echo "==> cargo test (CSO_SYNTH_CACHE=off)"
+CSO_SYNTH_CACHE=off cargo test -q --workspace --offline
+
+# Golden regression: table1.csv carries semantic fields only (iterations,
+# agreement, outcome), so the cache kill-switch must not change a single
+# byte of it. Only table1_telemetry.csv (work counters, wall-clock) may
+# differ between the two campaigns.
+echo "==> table1.csv golden diff (cache on vs off)"
+GOLD=$(mktemp -d)
+cargo run -q --release --offline -p cso-bench --bin repro -- table1 --csv "$GOLD/warm" >/dev/null
+CSO_SYNTH_CACHE=off cargo run -q --release --offline -p cso-bench --bin repro -- \
+    table1 --csv "$GOLD/cold" >/dev/null
+diff "$GOLD/warm/table1.csv" "$GOLD/cold/table1.csv"
+rm -rf "$GOLD"
+
+# Bench smoke: the synth_loop group (cold vs warm synthesis, the
+# BENCH_synth.json baseline) must run end to end and emit parseable rows
+# with positive medians.
+echo "==> cargo bench synth_loop (smoke)"
+BENCHDIR=$(mktemp -d)
+CSO_BENCH_CSV="$BENCHDIR" cargo bench -q --offline -p cso-bench --bench experiments -- synth_loop
+awk -F, '
+    NR == 1 { if ($0 != "group,benchmark,median_ns,mad_ns,siqr_ns,samples") exit 1; next }
+    $1 == "synth_loop" { rows++; if ($3 + 0 <= 0) exit 1 }
+    END { exit (rows == 2 ? 0 : 1) }
+' "$BENCHDIR/bench.csv"
+rm -rf "$BENCHDIR"
+
 echo "CI green."

@@ -113,6 +113,32 @@ fn fig5(c: &mut Criterion) {
     g.finish();
 }
 
+/// The incremental synthesis loop: identical runs with the caches cold
+/// (`incremental = false`, every query solved from scratch) and warm
+/// (`incremental = true`, the default: clause reuse, exact memo replay
+/// and warm-started refutation). Both arms synthesize the same objective
+/// byte for byte — the `incremental_equivalence` tests enforce that — so
+/// the timing gap here is pure cache effect. This is the group CI smokes
+/// and the one `BENCH_synth.json` baselines.
+fn synth_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synth_loop");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(12));
+    for (name, incremental) in [("cold", false), ("warm", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &incremental, |b, &inc| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cfg = bench_cfg(6000 + seed);
+                cfg.incremental = inc;
+                black_box(run_once(cfg, (1, 50, 1, 5)))
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Ablation: solver seeding on/off (DESIGN.md §5, choice 1).
 fn ablation_seeding(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_seeding");
@@ -131,4 +157,4 @@ fn ablation_seeding(c: &mut Criterion) {
     g.finish();
 }
 
-cso_runtime::bench_main!(table1, fig3, fig4, fig5, ablation_seeding);
+cso_runtime::bench_main!(table1, fig3, fig4, fig5, synth_loop, ablation_seeding);

@@ -71,6 +71,15 @@ pub struct RunOutcome {
     pub boxes_explored: usize,
     /// Boxes pruned by interval refutation over the run (deterministic).
     pub boxes_pruned: usize,
+    /// Solver queries answered by exact memo replay (deterministic given
+    /// the seed and cache mode; zero when the cache is off).
+    pub cache_hits: usize,
+    /// Preference-edge clauses served from the query-layer cache instead
+    /// of recompiled (zero when the cache is off).
+    pub clauses_reused: usize,
+    /// Frontier boxes carried across iterations and re-refuted under a
+    /// strengthened query (zero when the cache is off).
+    pub boxes_carried: usize,
     /// Wall-clock seconds spent in solver seeding phases (not
     /// deterministic — telemetry CSV only).
     pub seeding_secs: f64,
@@ -105,6 +114,9 @@ fn one_run(target: (i64, i64, i64, i64), cfg_template: &SynthConfig, seed: u64) 
         solver_queries: solver.queries,
         boxes_explored: solver.boxes_explored,
         boxes_pruned: solver.boxes_pruned,
+        cache_hits: solver.cache_hits,
+        clauses_reused: solver.clauses_reused,
+        boxes_carried: solver.boxes_carried,
         seeding_secs: solver.seeding_time.as_secs_f64(),
         bnp_secs: solver.bnp_time.as_secs_f64(),
     }
@@ -454,6 +466,12 @@ mod tests {
         for r in &t.runs {
             assert!(r.solver_queries > 0, "solver telemetry must be populated");
             assert!(r.seeding_secs + r.bnp_secs > 0.0);
+            // The incremental caches default on: every multi-iteration run
+            // rebuilds feasibility over mostly-unchanged edges. (Vacuous
+            // under the CSO_SYNTH_CACHE=off CI pass, which forces cold.)
+            let env_cold =
+                matches!(std::env::var("CSO_SYNTH_CACHE").ok().as_deref(), Some("off" | "0"));
+            assert!(env_cold || r.clauses_reused > 0, "cache telemetry must be populated");
         }
     }
 
@@ -476,11 +494,13 @@ mod tests {
         let a = crate::report::csv_table1(&a_res);
         let b = crate::report::csv_table1(&b_res);
         assert!(!a.is_empty() && a.lines().count() == 4, "header + 3 runs:\n{a}");
-        assert!(a.starts_with("run,iterations,agreement,outcome,boxes_explored,boxes_pruned\n"));
+        assert!(a.starts_with("run,iterations,agreement,outcome\n"));
         assert_eq!(a, b, "table1 CSV must be deterministic");
         let tel = crate::report::csv_table1_telemetry(&a_res);
-        assert!(tel
-            .starts_with("run,solver_queries,boxes_explored,boxes_pruned,seeding_secs,bnp_secs\n"));
+        assert!(tel.starts_with(
+            "run,solver_queries,boxes_explored,boxes_pruned,\
+             cache_hits,clauses_reused,boxes_carried,seeding_secs,bnp_secs\n"
+        ));
         assert_eq!(tel.lines().count(), 4, "header + 3 runs:\n{tel}");
     }
 

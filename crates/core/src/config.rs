@@ -44,6 +44,14 @@ pub struct SynthConfig {
     /// The final unsatisfiability proof runs at `proof_delta_factor × δ`
     /// (coarser is sound for a δ-convergence check and much cheaper).
     pub proof_delta_factor: f64,
+    /// Enable the incremental caches: per-edge clause reuse in the query
+    /// layer, exact solver-query memoization, and warm-started refutation
+    /// carried between iterations. Purely an optimization — synthesis
+    /// outcomes are byte-identical either way (enforced by the
+    /// `incremental_equivalence` differential tests). The
+    /// `CSO_SYNTH_CACHE=off` environment variable overrides this to force
+    /// the cold path process-wide.
+    pub incremental: bool,
 }
 
 impl Default for SynthConfig {
@@ -62,6 +70,7 @@ impl Default for SynthConfig {
             repair_noise: false,
             disamb_attempts: 6,
             proof_delta_factor: 2.0,
+            incremental: true,
         }
     }
 }

@@ -5,13 +5,16 @@ use crate::oracle::{Oracle, Ranking};
 use crate::query::QueryBuilder;
 use crate::scenario::{MetricSpace, Scenario};
 use crate::stats::{IterationRecord, SolverTelemetry, SynthStats};
+use cso_logic::cache::{QueryKey, SolverCache};
 use cso_logic::solver::{Outcome, Solver, SolverConfig};
-use cso_logic::Model;
+use cso_logic::{Formula, Model};
 use cso_prefgraph::{PrefGraph, ScenarioId};
+use cso_runtime::hash::Fnv64;
 use cso_runtime::Rng;
 use cso_sketch::{CompletedObjective, Sketch};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// How a synthesis run ended.
@@ -81,6 +84,22 @@ impl std::error::Error for SynthError {}
 /// Cap on the candidate seed pool.
 const POOL_CAP: usize = 4;
 
+/// Site tags distinguishing the four solver call sites in content hashes.
+const SITE_CANDIDATE: u64 = 1;
+const SITE_FB: u64 = 2;
+const SITE_SCENARIO: u64 = 3;
+const SITE_PROOF: u64 = 4;
+
+/// Kill-switch: `CSO_SYNTH_CACHE=off` (or `=0`) forces the cold path for
+/// the whole process regardless of [`SynthConfig::incremental`] — one
+/// environment variable flips an entire test-suite or CI pass.
+fn cache_env_off() -> bool {
+    static OFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *OFF.get_or_init(|| {
+        matches!(std::env::var("CSO_SYNTH_CACHE").ok().as_deref(), Some("off" | "0"))
+    })
+}
+
 /// Diagnostic trace, enabled by setting `CSO_SYNTH_TRACE=1`. Goes to
 /// stderr; intended for debugging synthesis behaviour, not for parsing.
 fn trace(args: std::fmt::Arguments<'_>) {
@@ -118,6 +137,17 @@ pub struct Synthesizer {
     /// Solver telemetry accumulated since the current iteration started
     /// (drained into each [`IterationRecord`]).
     iter_solver: SolverTelemetry,
+    /// Cross-query solver cache (memoization + warm-start frontiers);
+    /// `None` when incremental mode is off.
+    cache: Option<SolverCache>,
+    /// Semantic epoch of the preference graph: bumped whenever a graph
+    /// mutation may have *weakened* the feasibility formula (an edge
+    /// removal not entailed by the remaining closure, or an indifference
+    /// merge, which can relax tie constraints between old class members).
+    /// Warm-start frontiers recorded under an older semantic epoch are
+    /// invalid; pure strengthenings (strict edges, entailed removals)
+    /// deliberately leave it untouched.
+    sem_epoch: u64,
     /// Statistics of the current/last run.
     pub stats: SynthStats,
 }
@@ -141,6 +171,8 @@ impl Synthesizer {
         }
         let qb = QueryBuilder::new(sketch.clone(), space.clone(), &cfg);
         let rng = Rng::seed_from_u64(cfg.seed);
+        let incremental = cfg.incremental && !cache_env_off();
+        qb.set_caching(incremental);
         Ok(Synthesizer {
             sketch,
             cfg,
@@ -151,6 +183,8 @@ impl Synthesizer {
             space,
             pool: Vec::new(),
             iter_solver: SolverTelemetry::default(),
+            cache: incremental.then(SolverCache::new),
+            sem_epoch: 0,
             stats: SynthStats::default(),
         })
     }
@@ -159,6 +193,17 @@ impl Synthesizer {
     /// paper's `Viable(f)`; SWAN needs none).
     pub fn set_viability(&mut self, f: cso_logic::Formula) {
         self.qb.set_viability(f);
+        // Changing viability rewrites feasibility semantics wholesale.
+        self.sem_epoch += 1;
+        if let Some(c) = &mut self.cache {
+            c.clear_frontiers();
+        }
+    }
+
+    /// `true` when the incremental caches are active for this synthesizer.
+    #[must_use]
+    pub fn incremental(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Read-only view of the preference graph built so far.
@@ -167,18 +212,114 @@ impl Synthesizer {
         &self.graph
     }
 
-    /// A solver with δ scaled by `delta_factor` and the box budget scaled
-    /// by `budget_factor`. Fast-path sub-queries are low-dimensional, so
-    /// they run on a fraction of the budget; the joint convergence proof
-    /// gets the full budget.
-    fn make_solver_scaled(&self, seed_salt: u64, delta_factor: f64, budget_factor: f64) -> Solver {
+    /// A solver configuration with δ scaled by `delta_factor` and the box
+    /// budget scaled by `budget_factor`. Fast-path sub-queries are
+    /// low-dimensional, so they run on a fraction of the budget; the joint
+    /// convergence proof gets the full budget.
+    fn scaled_config(&self, seed_salt: u64, delta_factor: f64, budget_factor: f64) -> SolverConfig {
         let mut sc: SolverConfig = self.cfg.solver.clone();
         let deltas: Vec<f64> =
             self.qb.deltas(self.cfg.delta_rel).into_iter().map(|d| d * delta_factor).collect();
         sc.delta_per_dim = Some(deltas);
         sc.max_boxes = Self::scale_budget(sc.max_boxes, budget_factor);
         sc.seed = self.cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed_salt);
-        Solver::new(sc)
+        sc
+    }
+
+    /// Content-derived solver seed salt: a hash of everything that defines
+    /// the query (call site, formula, seed models, scale factors). With
+    /// salts derived from content instead of the iteration number,
+    /// logically identical queries become *bit-identical* solver
+    /// invocations — the precondition for exact memo replay — and the
+    /// cold path is unchanged by whether the cache is on.
+    fn content_salt(
+        site: u64,
+        f: &Formula,
+        seeds: &[Model],
+        delta_factor: f64,
+        budget_factor: f64,
+    ) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(site);
+        f.hash(&mut h);
+        seeds.hash(&mut h);
+        h.write_u64(delta_factor.to_bits());
+        h.write_u64(budget_factor.to_bits());
+        h.finish()
+    }
+
+    /// Solve `f` over the query domain through the incremental cache.
+    ///
+    /// Order of preference: exact memo replay (byte-identical by solver
+    /// determinism), then — for call sites passing `warm_site` — the
+    /// warm-started Unsat shortcut, then a cold solve whose outcome is
+    /// memo-recorded and whose frontier is stored for the site.
+    ///
+    /// Pass `warm_site` only where `Unsat`, `DeltaUnsat` and `Exhausted`
+    /// all steer the loop identically: the shortcut may answer `Unsat`
+    /// where the cold path would have exhausted its budget. Returns the
+    /// outcome and the `sat_from_seeding` flag of the (possibly replayed)
+    /// run.
+    fn solve_cached(
+        &mut self,
+        site: u64,
+        warm_site: Option<u64>,
+        f: &Formula,
+        seeds: &[Model],
+        delta_factor: f64,
+        budget_factor: f64,
+    ) -> (Outcome, bool) {
+        let salt = Self::content_salt(site, f, seeds, delta_factor, budget_factor);
+        let mut sc = self.scaled_config(salt, delta_factor, budget_factor);
+        let domain = self.qb.domain();
+        let (epoch, revision) = (self.sem_epoch, self.graph.revision());
+
+        let key = self.cache.as_ref().map(|_| QueryKey {
+            formula: f.clone(),
+            domain: domain.clone(),
+            seeds: seeds.to_vec(),
+            max_boxes: sc.max_boxes,
+            seed: sc.seed,
+            delta: sc.delta,
+            delta_per_dim: sc.delta_per_dim.clone(),
+        });
+        if let Some(k) = &key {
+            let cache = self.cache.as_mut().expect("key implies cache");
+            if let Some(hit) = cache.lookup(k) {
+                trace(format_args!("  solver call replayed from memo (site {site})"));
+                self.iter_solver.cache_hits += 1;
+                self.stats.solver_totals.cache_hits += 1;
+                return (hit.outcome, hit.sat_from_seeding);
+            }
+            if let Some(ws) = warm_site {
+                let before = cache.stats.boxes_carried;
+                if cache.try_warm_unsat(ws, epoch, revision, f) {
+                    let carried = cache.stats.boxes_carried - before;
+                    trace(format_args!("  warm-start unsat: {carried} boxes re-refuted"));
+                    self.iter_solver.boxes_carried += carried;
+                    self.stats.solver_totals.boxes_carried += carried;
+                    // Not memo-recorded: the cold outcome at this exact key
+                    // could be DeltaUnsat/Exhausted rather than Unsat.
+                    return (Outcome::Unsat, false);
+                }
+                sc.collect_frontier = true;
+            }
+        }
+
+        let mut solver = Solver::new(sc);
+        let out = solver.solve_seeded(f, &domain, seeds);
+        self.absorb_solver(&solver);
+        let sat_from_seeding = solver.stats.sat_from_seeding;
+        if let Some(k) = key {
+            let cache = self.cache.as_mut().expect("key implies cache");
+            cache.record(k, out.clone(), sat_from_seeding);
+            if out.is_unsat_like() {
+                if let (Some(ws), Some(frontier)) = (warm_site, solver.take_frontier()) {
+                    cache.store_frontier(ws, epoch, revision, frontier);
+                }
+            }
+        }
+        (out, sat_from_seeding)
     }
 
     /// Scale a box budget by `factor`, clamped to `[MIN, MAX]`. A plain
@@ -203,6 +344,12 @@ impl Synthesizer {
     /// Fold one finished solver query into the per-iteration and per-run
     /// telemetry aggregates.
     fn absorb_solver(&mut self, solver: &Solver) {
+        trace(format_args!(
+            "  solver call: boxes={} seeding={:.4}s bnp={:.4}s",
+            solver.stats.boxes_processed,
+            solver.stats.seeding_time.as_secs_f64(),
+            solver.stats.bnp_time.as_secs_f64()
+        ));
         self.iter_solver.absorb(&solver.stats);
         self.stats.solver_totals.absorb(&solver.stats);
     }
@@ -293,12 +440,23 @@ impl Synthesizer {
         // Ties within a group.
         for group in &ids {
             for w in group.windows(2) {
-                if w[0] != w[1]
-                    && !self.graph.indifferent(w[0], w[1])
-                    && self.graph.mark_indifferent(w[0], w[1]).is_err()
-                    && !self.cfg.repair_noise
-                {
-                    return Err(SynthError::InconsistentPreferences);
+                if w[0] == w[1] || self.graph.indifferent(w[0], w[1]) {
+                    continue;
+                }
+                match self.graph.mark_indifferent(w[0], w[1]) {
+                    Ok(_) => {
+                        // A class merge re-expresses tie constraints
+                        // against the new representative; the constraint
+                        // between two old members loosens from `tol` to
+                        // `2·tol` via the triangle inequality, so this is
+                        // not a pure strengthening of feasibility.
+                        self.note_semantic_weakening();
+                    }
+                    Err(_) => {
+                        if !self.cfg.repair_noise {
+                            return Err(SynthError::InconsistentPreferences);
+                        }
+                    }
                 }
             }
         }
@@ -323,9 +481,29 @@ impl Synthesizer {
         }
         if self.cfg.repair_noise {
             let removed = cso_prefgraph::noise::repair(&mut self.graph);
+            // Epoch salvage: a removed edge whose preference is still
+            // entailed by the remaining transitive closure leaves
+            // feasibility semantics unchanged, so carried frontiers stay
+            // valid. Only a genuine weakening invalidates them.
+            if removed.iter().any(|&id| {
+                let e = &self.graph.all_edges()[id.index()];
+                !self.graph.reaches(e.preferred, e.other)
+            }) {
+                self.note_semantic_weakening();
+            }
             self.stats.edges_repaired += removed.len();
         }
         Ok(())
+    }
+
+    /// Record that a graph mutation may have weakened feasibility: carried
+    /// warm-start frontiers are no longer trustworthy (memo entries are,
+    /// always — their key is the entire query).
+    fn note_semantic_weakening(&mut self) {
+        self.sem_epoch += 1;
+        if let Some(c) = &mut self.cache {
+            c.clear_frontiers();
+        }
     }
 
     /// Find a candidate consistent with the preference graph.
@@ -334,11 +512,7 @@ impl Synthesizer {
     /// second candidate: whichever side the oracle took, one of the two
     /// still satisfies every recorded preference, so the search is O(1)
     /// in the common case.
-    fn find_candidate(
-        &mut self,
-        seeds: &[Model],
-        salt: u64,
-    ) -> Result<CompletedObjective, SynthError> {
+    fn find_candidate(&mut self, seeds: &[Model]) -> Result<CompletedObjective, SynthError> {
         let feas = self.qb.feasibility(&self.graph);
         // First try at the normal budget, then escalate: a feasibility
         // search only gets hard when every seed was just invalidated
@@ -354,9 +528,7 @@ impl Synthesizer {
             if i > 0 {
                 all_seeds.extend(combo_seeds.iter().cloned());
             }
-            let mut solver = self.make_solver_scaled(salt + i as u64 * 7919, 1.0, budget);
-            let out = solver.solve_seeded(&feas, &self.qb.domain(), &all_seeds);
-            self.absorb_solver(&solver);
+            let (out, _) = self.solve_cached(SITE_CANDIDATE, None, &feas, &all_seeds, 1.0, budget);
             match out {
                 Outcome::Sat(m) => {
                     let holes = self.qb.model_holes(&m);
@@ -383,7 +555,6 @@ impl Synthesizer {
         fa: &CompletedObjective,
         exclusions: &[(Scenario, Scenario)],
         extra_seeds: &[Model],
-        salt: u64,
     ) -> PairSearch {
         let feas = self.qb.feasibility(&self.graph);
         let mut fast_path_dry = true;
@@ -418,10 +589,17 @@ impl Synthesizer {
                 seeds.push(self.qb.seed_from_holes(&shifted));
             }
             seeds.extend(extra_seeds.iter().cloned());
-            let mut solver =
-                self.make_solver_scaled(salt * 1009 + attempt as u64 * 17 + 1, 1.0, 0.25);
-            let fb_out = solver.solve_seeded(&fb_q, &self.qb.domain(), &seeds);
-            self.absorb_solver(&solver);
+            // Warm-start site: fixed candidate holes, probed hole, and
+            // separation pin the non-feasibility conjunct exactly, so a
+            // later query here only ever strengthens (feasibility gains
+            // conjuncts as the graph grows) — the frontier carry contract.
+            let mut wh = Fnv64::new();
+            wh.write_u64(SITE_FB);
+            fa.hole_values().hash(&mut wh);
+            wh.write_u64(hole as u64);
+            wh.write_u64(sep_rel.to_bits());
+            let warm_site = wh.finish();
+            let (fb_out, _) = self.solve_cached(SITE_FB, Some(warm_site), &fb_q, &seeds, 1.0, 0.25);
             let fb = match fb_out {
                 Outcome::Sat(m) => {
                     fast_path_dry = false;
@@ -442,17 +620,15 @@ impl Synthesizer {
                 }
             };
             trace(format_args!("fb found: {fb}"));
-            // 2. Scenarios the frozen pair disagrees on.
+            // 2. Scenarios the frozen pair disagrees on. Graph-independent
+            // (frozen candidates only), so repeats are exact memo hits.
             let sq = self.qb.scenario_disagreement(fa, &fb, exclusions);
-            let mut solver2 =
-                self.make_solver_scaled(salt * 2027 + attempt as u64 * 29 + 2, 1.0, 0.25);
-            let sq_out = solver2.solve(&sq, &self.qb.domain());
-            self.absorb_solver(&solver2);
+            let (sq_out, from_seeding) =
+                self.solve_cached(SITE_SCENARIO, None, &sq, &[], 1.0, 0.25);
             match sq_out {
                 Outcome::Sat(m) => {
                     let pair = self.qb.model_pair(&m);
                     trace(format_args!("pair found: {} vs {}", pair.0, pair.1));
-                    let from_seeding = solver2.stats.sat_from_seeding;
                     return PairSearch::Found {
                         pair,
                         from_seeding,
@@ -472,13 +648,14 @@ impl Synthesizer {
         // failed, so this is primarily a proof obligation.
         trace(format_args!("fast path dry; running joint proof"));
         let q = self.qb.disambiguation(&self.graph, fa, exclusions);
-        let mut solver = self.make_solver_scaled(salt * 31 + 3, self.cfg.proof_delta_factor, 1.0);
-        let q_out = solver.solve(&q, &self.qb.domain());
-        self.absorb_solver(&solver);
+        // Memo-only (no warm site): here Exhausted and Unsat steer the
+        // loop differently, so the warm shortcut could flip a
+        // budget-convergence into a proof-convergence.
+        let (q_out, from_seeding) =
+            self.solve_cached(SITE_PROOF, None, &q, &[], self.cfg.proof_delta_factor, 1.0);
         match q_out {
             Outcome::Sat(m) => {
                 let pair = self.qb.model_pair(&m);
-                let from_seeding = solver.stats.sat_from_seeding;
                 let fb_holes = self.qb.model_holes(&m);
                 PairSearch::Found { pair, from_seeding, fb_holes }
             }
@@ -502,6 +679,11 @@ impl Synthesizer {
     pub fn run(&mut self, oracle: &mut dyn Oracle) -> Result<SynthResult, SynthError> {
         self.stats = SynthStats::default();
         self.iter_solver = SolverTelemetry::default();
+        if let Some(c) = &mut self.cache {
+            *c = SolverCache::new();
+        }
+        self.sem_epoch = 0;
+        self.qb.take_clause_counters();
         let run_start = Instant::now();
 
         // Step 1: initial random scenarios (paper: 5 by default).
@@ -531,7 +713,7 @@ impl Synthesizer {
             // Current candidate fa.
             let mut all_seeds = feas_seeds.clone();
             all_seeds.extend(self.pool_seeds());
-            let fa = self.find_candidate(&all_seeds, iter as u64)?;
+            let fa = self.find_candidate(&all_seeds)?;
             trace(format_args!("iter {iter}: fa = {fa}"));
             self.remember_candidate(fa.hole_values());
             feas_seeds.clear();
@@ -543,7 +725,7 @@ impl Synthesizer {
             let mut converged = false;
             let mut sat_from_seeding = false;
             for k in 0..self.cfg.pairs_per_iteration {
-                match self.find_pair(&fa, &pairs, &feas_seeds, iter as u64 * 131 + k as u64) {
+                match self.find_pair(&fa, &pairs, &feas_seeds) {
                     PairSearch::Found { pair, from_seeding, fb_holes } => {
                         sat_from_seeding |= from_seeding;
                         self.remember_candidate(&fb_holes);
@@ -568,6 +750,7 @@ impl Synthesizer {
                     }
                 }
             }
+            self.drain_clause_counters();
 
             if converged {
                 // The final (unsatisfiable) check is synthesis work but not
@@ -610,9 +793,18 @@ impl Synthesizer {
         }
         let objective = match candidate {
             Some(c) => c,
-            None => self.find_candidate(&[], 0)?,
+            None => self.find_candidate(&[])?,
         };
+        self.drain_clause_counters();
         Ok(SynthResult { objective, outcome, stats: self.stats.clone() })
+    }
+
+    /// Fold the query layer's clause-reuse counters into the current
+    /// iteration's telemetry and the run totals.
+    fn drain_clause_counters(&mut self) {
+        let (reused, _compiled) = self.qb.take_clause_counters();
+        self.iter_solver.clauses_reused += reused;
+        self.stats.solver_totals.clauses_reused += reused;
     }
 }
 
@@ -792,6 +984,38 @@ mod tests {
         let iter_queries: usize = result.stats.records.iter().map(|r| r.solver.queries).sum();
         assert!(iter_queries > 0);
         assert!(iter_queries <= totals.queries);
+    }
+
+    #[test]
+    fn incremental_cache_reuses_clauses_and_reports_telemetry() {
+        if cache_env_off() {
+            // The CSO_SYNTH_CACHE=off CI pass forces the cold path
+            // process-wide; the warm-side assertions below are meaningless
+            // there (the kill-switch itself is what this pass exercises).
+            return;
+        }
+        let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(42)).unwrap();
+        assert!(synth.incremental(), "incremental defaults on");
+        let mut oracle = GroundTruthOracle::new(swan_target());
+        let result = synth.run(&mut oracle).unwrap();
+        let totals = result.stats.solver_totals;
+        // Every iteration rebuilds feasibility over mostly-unchanged edges.
+        assert!(totals.clauses_reused > 0, "expected clause reuse across iterations");
+
+        // The kill-switch config yields a cold run with zeroed cache
+        // telemetry — and the same synthesis result.
+        let mut cold_cfg = fast_cfg(42);
+        cold_cfg.incremental = false;
+        let mut cold = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cold_cfg).unwrap();
+        assert!(!cold.incremental());
+        let cold_result = cold.run(&mut GroundTruthOracle::new(swan_target())).unwrap();
+        let cold_totals = cold_result.stats.solver_totals;
+        assert_eq!(cold_totals.cache_hits, 0);
+        assert_eq!(cold_totals.clauses_reused, 0);
+        assert_eq!(cold_totals.boxes_carried, 0);
+        assert_eq!(cold_result.objective.hole_values(), result.objective.hole_values());
+        assert_eq!(cold_result.outcome, result.outcome);
+        assert_eq!(cold_result.stats.iterations(), result.stats.iterations());
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub struct SolverTelemetry {
     pub bnp_time: Duration,
     /// Largest worker-thread count any absorbed query ran with.
     pub max_workers: usize,
+    /// Queries answered by exact memo replay instead of a solver run.
+    /// Replayed queries are *not* counted in `queries` or the box/sample
+    /// counters — those record physical solver work only.
+    pub cache_hits: usize,
+    /// Preference-edge clauses served from the query-layer cache instead
+    /// of being recompiled.
+    pub clauses_reused: usize,
+    /// Frontier boxes carried from an earlier unsat-like query and
+    /// re-verified refuted under a strengthened one (warm-started Unsat).
+    pub boxes_carried: usize,
 }
 
 impl SolverTelemetry {

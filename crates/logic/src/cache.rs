@@ -1,0 +1,441 @@
+//! Cross-query solver caching: exact replay and warm-started refutation.
+//!
+//! The synthesis loop re-issues many *logically identical* solver queries —
+//! duplicate scenario-disagreement checks for the same candidate pair,
+//! and whole iterations that replay the previous one verbatim once the
+//! preference graph stops growing. Two mechanisms exploit this:
+//!
+//! 1. **Exact memoization** — a query identical in every input that can
+//!    influence the solver (formula, domain, seeds, budget, δ, RNG seed)
+//!    replays the recorded [`Outcome`] without running the solver. The
+//!    solver is deterministic (and byte-identical across thread counts),
+//!    so replay is *equivalence by construction*; entries never need
+//!    invalidation because the key is the whole input.
+//! 2. **Warm-started refutation** — an unsat-like run records its
+//!    *frontier* (see [`crate::solver::Solver::take_frontier`]): boxes
+//!    covering every point the run did not soundly refute. When a later
+//!    query at the same site is **semantically stronger** (the synthesis
+//!    loop only ever adds ranking constraints between graph weakenings),
+//!    any model of the new formula would also model the old one, so it can
+//!    only hide inside the carried frontier. If interval evaluation
+//!    refutes the new formula on *every* frontier box, the new query is
+//!    **Unsat** — a sound proof, skipping branch-and-prune entirely. A
+//!    single surviving box aborts the shortcut and the caller falls back
+//!    to a cold solve; the shortcut can therefore never flip a
+//!    satisfiable query.
+//!
+//! The caller (the synthesis engine) is responsible for the monotonicity
+//! contract behind mechanism 2: frontiers are keyed by a site fingerprint
+//! and guarded by the preference graph's `(epoch, revision)` pair —
+//! strengthening bumps `revision`, any weakening (edge removal) bumps
+//! `epoch` and drops every stored frontier at validation time. The box
+//! domain must be unchanged between store and reuse (the engine's query
+//! domain is fixed per run).
+
+use crate::ieval::{ieval_formula, Tri};
+use crate::model::Model;
+use crate::simplify::simplify_formula;
+use crate::solver::Outcome;
+use crate::term::Formula;
+use crate::vars::BoxDomain;
+use cso_runtime::hash::Fnv64;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Upper bound on memoized queries; reaching it clears the memo wholesale.
+/// A synthesis run issues a few hundred queries, far below the cap — this
+/// exists only to bound memory for pathological callers.
+const MEMO_CAP: usize = 8_192;
+
+/// Frontiers larger than this are not stored: re-verifying that many boxes
+/// would rival the cost of the cold solve they replace.
+const FRONTIER_BOX_CAP: usize = 16_384;
+
+/// The complete identity of one solver invocation: every input that can
+/// influence the outcome. Two invocations with equal keys produce
+/// byte-identical outcomes and deterministic counters (thread count is
+/// deliberately excluded — the solver is thread-count-invariant).
+#[derive(Debug, Clone)]
+pub struct QueryKey {
+    /// The (unsimplified) formula handed to the solver.
+    pub formula: Formula,
+    /// The box domain solved over.
+    pub domain: BoxDomain,
+    /// Seed models, in order (order affects which model is found first).
+    pub seeds: Vec<Model>,
+    /// Box budget.
+    pub max_boxes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Uniform δ.
+    pub delta: f64,
+    /// Per-dimension δ override.
+    pub delta_per_dim: Option<Vec<f64>>,
+}
+
+impl QueryKey {
+    /// FNV-1a fingerprint of the key. Collisions are disambiguated by
+    /// [`QueryKey::same_as`], so the hash only needs to spread well.
+    #[must_use]
+    pub fn hash64(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.formula.hash(&mut h);
+        self.seeds.hash(&mut h);
+        self.max_boxes.hash(&mut h);
+        self.seed.hash(&mut h);
+        h.write_u64(self.delta.to_bits());
+        match &self.delta_per_dim {
+            None => h.write_u8(0),
+            Some(ds) => {
+                h.write_u8(1);
+                for d in ds {
+                    h.write_u64(d.to_bits());
+                }
+            }
+        }
+        for iv in self.domain.intervals() {
+            h.write_u64(iv.lo().to_bits());
+            h.write_u64(iv.hi().to_bits());
+        }
+        h.finish()
+    }
+
+    /// Bit-exact equality. `f64` fields compare by `to_bits`, so keys are
+    /// hashable-consistent even around `-0.0`/NaN.
+    #[must_use]
+    pub fn same_as(&self, other: &QueryKey) -> bool {
+        self.max_boxes == other.max_boxes
+            && self.seed == other.seed
+            && self.delta.to_bits() == other.delta.to_bits()
+            && f64s_bit_eq_opt(&self.delta_per_dim, &other.delta_per_dim)
+            && dom_bit_eq(&self.domain, &other.domain)
+            && self.seeds == other.seeds
+            && self.formula == other.formula
+    }
+}
+
+fn f64s_bit_eq_opt(a: &Option<Vec<f64>>, b: &Option<Vec<f64>>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        _ => false,
+    }
+}
+
+fn dom_bit_eq(a: &BoxDomain, b: &BoxDomain) -> bool {
+    a.len() == b.len()
+        && a.intervals().iter().zip(b.intervals()).all(|(p, q)| {
+            p.lo().to_bits() == q.lo().to_bits() && p.hi().to_bits() == q.hi().to_bits()
+        })
+}
+
+/// A recorded invocation: the outcome plus the stats bit equivalence
+/// tests care about.
+#[derive(Debug, Clone)]
+pub struct MemoEntry {
+    /// The recorded outcome, replayed verbatim.
+    pub outcome: Outcome,
+    /// Whether the recorded run found its model during seeding.
+    pub sat_from_seeding: bool,
+}
+
+/// A carried frontier for one query site.
+#[derive(Debug, Clone)]
+struct FrontierEntry {
+    /// Graph epoch the frontier was recorded under; any mismatch (an edge
+    /// was removed since) invalidates the entry.
+    epoch: u64,
+    /// Graph revision at record time; reuse requires `revision' >= this`
+    /// (the formula can only have been strengthened since).
+    revision: u64,
+    /// Boxes covering everything the recorded run did not refute. Empty
+    /// means the recorded run *proved* Unsat.
+    boxes: Vec<BoxDomain>,
+}
+
+/// Counters describing cache effectiveness (telemetry only — the cache
+/// never changes outcomes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Queries answered by exact memo replay (no solver run).
+    pub cache_hits: usize,
+    /// Queries that ran the solver because no memo entry matched.
+    pub cache_misses: usize,
+    /// Unsat-like answers produced by warm-started frontier refutation.
+    pub warm_unsat: usize,
+    /// Frontier boxes successfully carried (re-verified refuted) into a
+    /// later query.
+    pub boxes_carried: usize,
+    /// Warm-start attempts that fell back cold: a stale entry, or a
+    /// frontier box the strengthened formula could not refute.
+    pub warm_fallbacks: usize,
+}
+
+/// Cross-query cache: exact memoization plus per-site warm-start frontiers.
+#[derive(Debug, Default)]
+pub struct SolverCache {
+    memo: HashMap<u64, Vec<(QueryKey, MemoEntry)>>,
+    memo_len: usize,
+    frontiers: HashMap<u64, FrontierEntry>,
+    /// Effectiveness counters.
+    pub stats: CacheStats,
+}
+
+impl SolverCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> SolverCache {
+        SolverCache::default()
+    }
+
+    /// Number of memoized queries.
+    #[must_use]
+    pub fn memo_len(&self) -> usize {
+        self.memo_len
+    }
+
+    /// Number of stored warm-start frontiers.
+    #[must_use]
+    pub fn frontier_len(&self) -> usize {
+        self.frontiers.len()
+    }
+
+    /// Replay a recorded invocation if `key` matches one exactly.
+    /// Counts a hit or miss either way.
+    pub fn lookup(&mut self, key: &QueryKey) -> Option<MemoEntry> {
+        let hit = self
+            .memo
+            .get(&key.hash64())
+            .and_then(|bucket| bucket.iter().find(|(k, _)| k.same_as(key)))
+            .map(|(_, e)| e.clone());
+        if hit.is_some() {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.cache_misses += 1;
+        }
+        hit
+    }
+
+    /// Record an invocation for later replay. Duplicate keys keep the
+    /// first recording (they are byte-identical by determinism anyway).
+    pub fn record(&mut self, key: QueryKey, outcome: Outcome, sat_from_seeding: bool) {
+        if self.memo_len >= MEMO_CAP {
+            self.memo.clear();
+            self.memo_len = 0;
+        }
+        let bucket = self.memo.entry(key.hash64()).or_default();
+        if bucket.iter().any(|(k, _)| k.same_as(&key)) {
+            return;
+        }
+        bucket.push((key, MemoEntry { outcome, sat_from_seeding }));
+        self.memo_len += 1;
+    }
+
+    /// Store the frontier of an unsat-like run for `site`, tagged with the
+    /// preference graph's `(epoch, revision)` at solve time. Oversized
+    /// frontiers are discarded (re-verification would not pay).
+    pub fn store_frontier(&mut self, site: u64, epoch: u64, revision: u64, boxes: Vec<BoxDomain>) {
+        if boxes.len() > FRONTIER_BOX_CAP {
+            return;
+        }
+        self.frontiers.insert(site, FrontierEntry { epoch, revision, boxes });
+    }
+
+    /// Attempt the warm-started Unsat shortcut for `site` against the new
+    /// formula `f`, under the current graph `(epoch, revision)`.
+    ///
+    /// Returns `true` — meaning `f` is **Unsat** over the recorded domain —
+    /// only when a valid frontier exists (same epoch, recorded revision ≤
+    /// current) and interval evaluation refutes `f` on every carried box
+    /// (trivially so for an empty frontier, which is a carried Unsat
+    /// proof). Soundness additionally needs the caller's contract: `f`
+    /// entails the formula the frontier was recorded from, over the same
+    /// domain. Returns `false` on any doubt — caller must solve cold.
+    pub fn try_warm_unsat(&mut self, site: u64, epoch: u64, revision: u64, f: &Formula) -> bool {
+        let Some(entry) = self.frontiers.get(&site) else {
+            return false;
+        };
+        if entry.epoch != epoch || entry.revision > revision {
+            self.stats.warm_fallbacks += 1;
+            self.frontiers.remove(&site);
+            return false;
+        }
+        let simplified = simplify_formula(f);
+        if matches!(simplified, Formula::True) && !entry.boxes.is_empty() {
+            self.stats.warm_fallbacks += 1;
+            return false;
+        }
+        let conjuncts = simplified.conjuncts();
+        for dom in &entry.boxes {
+            if !refutes_conjuncts(&simplified, &conjuncts, dom) {
+                self.stats.warm_fallbacks += 1;
+                return false;
+            }
+        }
+        self.stats.warm_unsat += 1;
+        self.stats.boxes_carried += entry.boxes.len();
+        true
+    }
+
+    /// Drop every stored frontier (used when the graph weakens and the
+    /// caller cannot prove the weakening was semantics-preserving).
+    pub fn clear_frontiers(&mut self) {
+        self.frontiers.clear();
+    }
+}
+
+/// Sound interval refutation of `f` over `dom`: `true` only if no point of
+/// `dom` can satisfy `f`. Simplifies, then refutes any single conjunct.
+#[must_use]
+pub fn refutes(f: &Formula, dom: &BoxDomain) -> bool {
+    let simplified = simplify_formula(f);
+    let conjuncts = simplified.conjuncts();
+    refutes_conjuncts(&simplified, &conjuncts, dom)
+}
+
+fn refutes_conjuncts(simplified: &Formula, conjuncts: &[Formula], dom: &BoxDomain) -> bool {
+    if matches!(simplified, Formula::False) {
+        return true;
+    }
+    if conjuncts.is_empty() {
+        return false;
+    }
+    conjuncts.iter().any(|c| ieval_formula(c, dom) == Tri::False)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::vars::{VarId, VarRegistry};
+    use cso_numeric::{Interval, Rat};
+
+    fn setup() -> (BoxDomain, VarId, VarId) {
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let y = r.intern("y");
+        let mut d = BoxDomain::new(&r);
+        d.set(x, Interval::new(0.0, 10.0));
+        d.set(y, Interval::new(0.0, 10.0));
+        (d, x, y)
+    }
+
+    fn key(f: Formula, d: &BoxDomain, seed: u64) -> QueryKey {
+        QueryKey {
+            formula: f,
+            domain: d.clone(),
+            seeds: vec![],
+            max_boxes: 1000,
+            seed,
+            delta: 1e-3,
+            delta_per_dim: None,
+        }
+    }
+
+    #[test]
+    fn memo_replays_exact_key_only() {
+        let (d, x, _) = setup();
+        let f = Term::var(x).ge(Term::int(5));
+        let mut cache = SolverCache::new();
+        let k = key(f.clone(), &d, 7);
+        assert!(cache.lookup(&k).is_none());
+        cache.record(k.clone(), Outcome::Unsat, false);
+        let hit = cache.lookup(&k).expect("exact key must hit");
+        assert_eq!(hit.outcome, Outcome::Unsat);
+        // Different seed → different query → miss.
+        assert!(cache.lookup(&key(f.clone(), &d, 8)).is_none());
+        // Different formula → miss.
+        assert!(cache.lookup(&key(Term::var(x).ge(Term::int(6)), &d, 7)).is_none());
+        assert_eq!(cache.stats.cache_hits, 1);
+        assert_eq!(cache.stats.cache_misses, 3);
+        assert_eq!(cache.memo_len(), 1);
+    }
+
+    #[test]
+    fn memo_key_distinguishes_domain_bits() {
+        let (d, x, _) = setup();
+        let f = Term::var(x).ge(Term::int(5));
+        let mut d2 = d.clone();
+        d2.set(x, Interval::new(0.0, 9.0));
+        let mut cache = SolverCache::new();
+        cache.record(key(f.clone(), &d, 7), Outcome::Unsat, false);
+        assert!(cache.lookup(&key(f, &d2, 7)).is_none());
+    }
+
+    #[test]
+    fn warm_unsat_requires_refuting_every_box() {
+        let (d, x, y) = setup();
+        // Frontier: two boxes. New formula refutes only one of them.
+        let mut lo = d.clone();
+        lo.set(x, Interval::new(0.0, 1.0));
+        let mut hi = d.clone();
+        hi.set(x, Interval::new(9.0, 10.0));
+        let mut cache = SolverCache::new();
+        cache.store_frontier(1, 0, 3, vec![lo.clone(), hi.clone()]);
+
+        // x >= 2 refutes `lo` but not `hi`: must fall back.
+        let partial = Term::var(x).ge(Term::int(2));
+        assert!(!cache.try_warm_unsat(1, 0, 5, &partial));
+        assert_eq!(cache.stats.warm_fallbacks, 1);
+
+        // x + y >= 25 refutes both boxes: warm Unsat.
+        let full = Term::var(x).add(Term::var(y)).ge(Term::int(25));
+        assert!(cache.try_warm_unsat(1, 0, 5, &full));
+        assert_eq!(cache.stats.warm_unsat, 1);
+        assert_eq!(cache.stats.boxes_carried, 2);
+    }
+
+    #[test]
+    fn warm_unsat_respects_epoch_and_revision() {
+        let (d, x, _) = setup();
+        let f = Term::var(x).ge(Term::int(25));
+        let mut cache = SolverCache::new();
+        cache.store_frontier(1, 0, 3, vec![d.clone()]);
+        // Older revision than recorded: formula may be weaker → no reuse.
+        assert!(!cache.try_warm_unsat(1, 0, 2, &f));
+        // Entry was dropped by the failed validation; re-store.
+        cache.store_frontier(1, 0, 3, vec![d.clone()]);
+        // Epoch mismatch (an edge was removed): no reuse, entry dropped.
+        assert!(!cache.try_warm_unsat(1, 1, 9, &f));
+        assert_eq!(cache.frontier_len(), 0);
+        // Valid: same epoch, newer revision, refutable formula.
+        cache.store_frontier(1, 0, 3, vec![d.clone()]);
+        assert!(cache.try_warm_unsat(1, 0, 3, &f));
+    }
+
+    #[test]
+    fn empty_frontier_is_a_carried_unsat_proof() {
+        let (_, x, _) = setup();
+        let mut cache = SolverCache::new();
+        cache.store_frontier(9, 2, 4, vec![]);
+        // Even a satisfiable-looking formula is Unsat here by contract:
+        // the recorded run proved Unsat and the new formula is stronger.
+        assert!(cache.try_warm_unsat(9, 2, 4, &Term::var(x).ge(Term::int(0))));
+    }
+
+    #[test]
+    fn refutes_is_sound_on_obvious_cases() {
+        let (d, x, y) = setup();
+        assert!(refutes(&Term::var(x).add(Term::var(y)).gt(Term::int(25)), &d));
+        assert!(!refutes(&Term::var(x).ge(Term::int(5)), &d));
+        assert!(refutes(&Formula::False, &d));
+        assert!(!refutes(&Formula::True, &d));
+        // A satisfiable conjunction is never refuted.
+        let f = Formula::and(vec![Term::var(x).ge(Term::int(1)), Term::var(y).le(Term::int(9))]);
+        assert!(!refutes(&f, &d));
+    }
+
+    #[test]
+    fn sat_outcomes_replay_with_seeding_flag() {
+        let (d, x, _) = setup();
+        let f = Term::var(x).ge(Term::int(5));
+        let m = Model::new(vec![Rat::from_int(6), Rat::zero()]);
+        let mut cache = SolverCache::new();
+        cache.record(key(f.clone(), &d, 7), Outcome::Sat(m.clone()), true);
+        let hit = cache.lookup(&key(f, &d, 7)).unwrap();
+        assert_eq!(hit.outcome, Outcome::Sat(m));
+        assert!(hit.sat_from_seeding);
+    }
+}

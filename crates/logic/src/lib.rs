@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod eval;
 pub mod ieval;
 pub mod model;
@@ -57,6 +58,7 @@ pub mod solver;
 pub mod term;
 pub mod vars;
 
+pub use cache::{CacheStats, MemoEntry, QueryKey, SolverCache};
 pub use model::Model;
 pub use term::{CmpOp, Formula, Term};
 pub use vars::{BoxDomain, VarId, VarRegistry};

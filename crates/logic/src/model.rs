@@ -8,7 +8,7 @@ use std::fmt;
 ///
 /// Models returned by the solver are *certified*: the originating formula
 /// evaluates to `true` under [`crate::eval::eval_formula`] with these values.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Model {
     values: Vec<Rat>,
 }

@@ -87,7 +87,7 @@ impl fmt::Display for CmpOp {
 ///
 /// Shared subtrees use [`Arc`], so cloning a term is cheap and lowering a
 /// sketch once per preference-graph edge does not blow up memory.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A rational constant.
     Const(Rat),
@@ -302,7 +302,7 @@ impl Term {
 }
 
 /// A boolean combination of comparisons between terms.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
     /// Constant truth.
     True,

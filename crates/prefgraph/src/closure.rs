@@ -122,22 +122,120 @@ pub fn topo_order<S>(g: &PrefGraph<S>) -> Option<Vec<ScenarioId>> {
 /// constrained the preference graph has become.
 #[must_use]
 pub fn closure_size<S>(g: &PrefGraph<S>) -> usize {
-    let mut count = 0;
-    let ids: Vec<ScenarioId> = g.scenario_ids().collect();
-    for &a in &ids {
-        if g.class_of(a) != a {
-            continue;
+    closure(g).len()
+}
+
+/// The transitive closure over indifference-class representatives: every
+/// ordered pair `(a, b)` of distinct class reps with a strict path from
+/// `a` to `b`, sorted by `(a, b)` id. This is the *semantic* content of
+/// the graph — two graphs with equal closures denote the same constraint
+/// set, which is what cache invalidation compares.
+#[must_use]
+pub fn closure<S>(g: &PrefGraph<S>) -> Vec<(ScenarioId, ScenarioId)> {
+    let n = g.scenario_count();
+    // reach[u] holds the set of classes reachable from class u, computed
+    // bottom-up in bitset rows (n is small: one row per class).
+    let words = n.div_ceil(64);
+    let mut direct: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in g.active_edges() {
+        let u = g.class_of(e.preferred).index();
+        let v = g.class_of(e.other).index();
+        if u != v {
+            direct[u].push(v);
         }
-        for &b in &ids {
-            if g.class_of(b) != b || a == b {
-                continue;
-            }
-            if g.reaches(a, b) {
-                count += 1;
+    }
+    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    // Iterate to a fixed point; cycles (possible under prefer_unchecked)
+    // converge because bits only ever get set.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in 0..n {
+            for &v in &direct[u] {
+                let mut new = false;
+                // reach[u] |= reach[v] | {v}
+                let (row_v, row_u) = if u < v {
+                    let (a, b) = reach.split_at_mut(v);
+                    (&b[0], &mut a[u])
+                } else {
+                    let (a, b) = reach.split_at_mut(u);
+                    (&a[v], &mut b[0])
+                };
+                for w in 0..words {
+                    let add = row_v[w] | if w == v / 64 { 1u64 << (v % 64) } else { 0 };
+                    let merged = row_u[w] | add;
+                    if merged != row_u[w] {
+                        row_u[w] = merged;
+                        new = true;
+                    }
+                }
+                changed |= new;
             }
         }
     }
-    count
+    let mut out = Vec::new();
+    for (u, row) in reach.iter().enumerate() {
+        if g.class_of(ScenarioId(u)).index() != u {
+            continue;
+        }
+        for v in 0..n {
+            if v == u || g.class_of(ScenarioId(v)).index() != v {
+                continue;
+            }
+            if row[v / 64] >> (v % 64) & 1 == 1 {
+                out.push((ScenarioId(u), ScenarioId(v)));
+            }
+        }
+    }
+    out
+}
+
+/// The transitive reduction: the subset of active edges whose removal
+/// would change the closure. For a DAG this is the unique minimal graph
+/// with the same closure, and it is contained (as a set of ordered class
+/// pairs) in *every* graph with that closure — the property the cache's
+/// invalidation deltas and the `reduce(closure(G)) ⊆ G` law rely on.
+///
+/// An edge `u → v` is redundant iff some other out-neighbor `w` of `u`
+/// still reaches `v`, or a parallel edge `u → v` with a smaller id exists.
+/// Returns the ids of the kept edges in insertion order.
+#[must_use]
+pub fn reduce<S>(g: &PrefGraph<S>) -> Vec<EdgeId> {
+    let pairs = closure(g);
+    let n = g.scenario_count();
+    let words = n.div_ceil(64);
+    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    for &(a, b) in &pairs {
+        reach[a.index()][b.index() / 64] |= 1u64 << (b.index() % 64);
+    }
+    let edges: Vec<(usize, usize, usize)> = g
+        .all_edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !e.removed)
+        .map(|(i, e)| (i, g.class_of(e.preferred).index(), g.class_of(e.other).index()))
+        .collect();
+    let mut kept = Vec::new();
+    'edge: for &(i, u, v) in &edges {
+        if u == v {
+            continue; // self-loop after class collapse: never structural
+        }
+        for &(j, u2, v2) in &edges {
+            if j == i || u2 != u {
+                continue;
+            }
+            // Parallel duplicate: keep only the first occurrence.
+            if v2 == v && j < i {
+                continue 'edge;
+            }
+            // u → u2=u's other successor v2 ⤳ v makes (u, v) redundant.
+            if v2 != v && reach[v2][v / 64] >> (v % 64) & 1 == 1 {
+                continue 'edge;
+            }
+        }
+        kept.push(EdgeId(i));
+    }
+    kept
 }
 
 #[cfg(test)]

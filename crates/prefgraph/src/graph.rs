@@ -93,11 +93,19 @@ pub struct PrefGraph<S> {
     scenarios: Vec<S>,
     edges: Vec<PrefEdge>,
     dsu: Dsu,
+    revision: u64,
+    epoch: u64,
 }
 
 impl<S> Default for PrefGraph<S> {
     fn default() -> PrefGraph<S> {
-        PrefGraph { scenarios: Vec::new(), edges: Vec::new(), dsu: Dsu::default() }
+        PrefGraph {
+            scenarios: Vec::new(),
+            edges: Vec::new(),
+            dsu: Dsu::default(),
+            revision: 0,
+            epoch: 0,
+        }
     }
 }
 
@@ -134,6 +142,24 @@ impl<S> PrefGraph<S> {
     #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edges.iter().filter(|e| !e.removed).count()
+    }
+
+    /// Monotone change counter: bumped by every mutation that can only
+    /// *strengthen* the constraint set the graph denotes ([`Self::prefer`],
+    /// [`Self::prefer_unchecked`], [`Self::mark_indifferent`]). Two equal
+    /// `(epoch, revision)` pairs mean the constraint set is unchanged; a
+    /// larger revision at the same epoch means a superset.
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Weakening counter: bumped by [`Self::remove_edge`], which can grow
+    /// the solution set. Any derived state (carried solver frontiers,
+    /// compiled formulas) keyed to an older epoch is invalid.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// All scenario ids.
@@ -194,6 +220,7 @@ impl<S> PrefGraph<S> {
             return Err(CycleError { pair: (a, b) });
         }
         self.edges.push(PrefEdge { preferred: a, other: b, confidence: 1.0, removed: false });
+        self.revision += 1;
         Ok(EdgeId(self.edges.len() - 1))
     }
 
@@ -201,6 +228,7 @@ impl<S> PrefGraph<S> {
     /// mode). `confidence` weights the edge for later [`crate::noise::repair`].
     pub fn prefer_unchecked(&mut self, a: ScenarioId, b: ScenarioId, confidence: f64) -> EdgeId {
         self.edges.push(PrefEdge { preferred: a, other: b, confidence, removed: false });
+        self.revision += 1;
         EdgeId(self.edges.len() - 1)
     }
 
@@ -215,12 +243,19 @@ impl<S> PrefGraph<S> {
             return Err(CycleError { pair: (a, b) });
         }
         self.dsu.union(a.0, b.0);
+        self.revision += 1;
         Ok(())
     }
 
-    /// Remove an edge (used by the repair pass).
+    /// Remove an edge (used by the repair pass). Bumps the epoch — removal
+    /// may weaken the denoted constraint set, so monotonicity-based caches
+    /// must flush. Removing an edge whose ordered pair is still entailed by
+    /// the remaining graph (check [`Self::reaches`] afterwards) leaves the
+    /// semantics unchanged; callers holding such proof may ignore the bump.
     pub fn remove_edge(&mut self, id: EdgeId) {
         self.edges[id.0].removed = true;
+        self.epoch += 1;
+        self.revision += 1;
     }
 
     /// `true` iff a strict path from `a`'s class to `b`'s class exists
@@ -330,6 +365,21 @@ mod tests {
         assert!(g.is_consistent());
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.all_edges().len(), 2);
+    }
+
+    #[test]
+    fn revision_and_epoch_track_mutations() {
+        let (mut g, a, b, c) = three();
+        assert_eq!((g.revision(), g.epoch()), (0, 0));
+        g.prefer(a, b).unwrap();
+        assert_eq!((g.revision(), g.epoch()), (1, 0));
+        let e = g.prefer_unchecked(b, c, 0.5);
+        assert_eq!((g.revision(), g.epoch()), (2, 0));
+        g.mark_indifferent(a, c).unwrap_err(); // rejected: must not bump
+        assert_eq!((g.revision(), g.epoch()), (2, 0));
+        g.remove_edge(e);
+        assert_eq!(g.epoch(), 1, "removal weakens: epoch bumps");
+        assert!(g.revision() > 2);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * a positional CLI argument filters benchmarks by substring
 //!   (`cargo bench -p cso-bench --bench micro -- bigint`);
 //! * `CSO_BENCH_CSV=<dir>` appends one CSV row per benchmark to
-//!   `<dir>/bench.csv` for machine-readable tracking.
+//!   `<dir>/bench.csv` for machine-readable tracking;
+//! * `CSO_BENCH_JSON=<file>` writes every benchmark that ran as a JSON
+//!   array to `<file>` (overwriting), for committed baselines like
+//!   `BENCH_synth.json`.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -22,6 +25,7 @@ use std::time::{Duration, Instant};
 pub struct Criterion {
     filter: Option<String>,
     csv: Option<std::path::PathBuf>,
+    json: Option<std::path::PathBuf>,
     rows: Vec<CsvRow>,
 }
 
@@ -40,7 +44,8 @@ impl Default for Criterion {
         // positional argument is a substring filter.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         let csv = std::env::var_os("CSO_BENCH_CSV").map(std::path::PathBuf::from);
-        Criterion { filter, csv, rows: Vec::new() }
+        let json = std::env::var_os("CSO_BENCH_JSON").map(std::path::PathBuf::from);
+        Criterion { filter, csv, json, rows: Vec::new() }
     }
 }
 
@@ -57,8 +62,9 @@ impl Criterion {
         }
     }
 
-    /// Flush CSV rows (called by [`bench_main!`] after all groups ran).
+    /// Flush CSV/JSON rows (called by [`bench_main!`] after all groups ran).
     pub fn final_summary(&mut self) {
+        self.flush_json();
         let Some(dir) = &self.csv else { return };
         if self.rows.is_empty() {
             return;
@@ -87,6 +93,41 @@ impl Criterion {
             println!("wrote {}", path.display());
         }
     }
+
+    /// Write all recorded rows as a JSON array to `CSO_BENCH_JSON`.
+    /// Hand-rolled: every field is a number or an identifier-like string,
+    /// so escaping reduces to quoting.
+    fn flush_json(&self) {
+        let Some(path) = &self.json else { return };
+        if self.rows.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"benchmark\": \"{}\", \"median_ns\": {:.1}, \
+                 \"mad_ns\": {:.1}, \"siqr_ns\": {:.1}, \"samples\": {}}}{sep}\n",
+                json_escape(&r.group),
+                json_escape(&r.name),
+                r.median_ns,
+                r.mad_ns,
+                r.siqr_ns,
+                r.samples
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Escape the two characters that can break a JSON string here.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Identifier for a parameterized benchmark, mirroring Criterion's.

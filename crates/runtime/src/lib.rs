@@ -16,11 +16,14 @@
 //! * [`prop`] — property testing with generator combinators, fixed-seed
 //!   case generation, choice-stream shrinking and failure-seed reporting
 //!   (replaces `proptest`).
+//! * [`hash`] — a stable FNV-1a hasher for content-derived keys that must
+//!   be identical across processes (the solver cache's query hashing).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod hash;
 pub mod pool;
 pub mod prop;
 pub mod rng;
