@@ -46,6 +46,21 @@ cargo run -q --release --offline -p cso-bench --bin repro -- table1 --csv "$GOLD
 CSO_SYNTH_CACHE=off cargo run -q --release --offline -p cso-bench --bin repro -- \
     table1 --csv "$GOLD/cold" >/dev/null
 diff "$GOLD/warm/table1.csv" "$GOLD/cold/table1.csv"
+
+# Tracing is strictly observational: rerun the same campaign with the
+# JSONL sink attached and golden-diff table1.csv against the untraced
+# run, then fold the trace with trace-digest (which re-checks stream
+# well-formedness and exits nonzero on any parse failure).
+echo "==> table1.csv golden diff (traced vs untraced) + trace-digest smoke"
+CSO_TRACE="jsonl:$GOLD/trace.jsonl" cargo run -q --release --offline -p cso-bench --bin repro -- \
+    table1 --csv "$GOLD/traced" >/dev/null
+diff "$GOLD/warm/table1.csv" "$GOLD/traced/table1.csv"
+cargo run -q --release --offline -p cso-bench --bin trace-digest -- "$GOLD/trace.jsonl" \
+    > "$GOLD/digest.txt"
+head -n 4 "$GOLD/digest.txt"
+grep -q "well-formed" "$GOLD/digest.txt"
+grep -q "engine.iteration" "$GOLD/digest.txt"
+grep -q "solver.bnp" "$GOLD/digest.txt"
 rm -rf "$GOLD"
 
 # Bench smoke: the synth_loop group (cold vs warm synthesis, the

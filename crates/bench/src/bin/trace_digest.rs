@@ -1,0 +1,164 @@
+//! Fold a JSONL trace (`CSO_TRACE=jsonl:<path>`) into a per-run profile.
+//!
+//! ```text
+//! trace-digest <trace.jsonl>
+//! ```
+//!
+//! Prints four sections:
+//!
+//! * **phases** — for every span name: call count, total / mean / max
+//!   duration, so a BENCH_* regression can be attributed to a phase
+//!   (seeding vs branch-and-prune vs query compilation vs proof) instead
+//!   of eyeballed;
+//! * **iterations** — per `engine.iteration` span: duration and the
+//!   solver work its events reported;
+//! * **workers** — events and items per `(thread, worker)` identity, a
+//!   quick check that the pool actually spread the work;
+//! * **counters** — every counter name with occurrence count and the sum
+//!   of each numeric field (memo hits, boxes, clause reuse, ...).
+//!
+//! The digest also re-checks stream well-formedness (spans balanced per
+//! thread, logical clocks monotone) and reports any parse failures; a
+//! malformed or unreadable trace exits nonzero.
+
+use cso_runtime::trace::{check_well_formed, parse_line, Event, Kind, Value};
+use std::collections::BTreeMap;
+
+fn secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+struct PhaseAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: trace-digest <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-digest: cannot read {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut events: Vec<Event> = Vec::new();
+    let mut parse_errors = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(e) => events.push(e),
+            Err(err) => {
+                parse_errors += 1;
+                if parse_errors <= 3 {
+                    eprintln!("trace-digest: line {}: {err}", lineno + 1);
+                }
+            }
+        }
+    }
+    if events.is_empty() {
+        eprintln!("trace-digest: no parseable events in {path:?}");
+        std::process::exit(1);
+    }
+
+    println!("trace: {path} — {} events, {} parse errors", events.len(), parse_errors);
+    match check_well_formed(&events) {
+        Ok(()) => println!("stream: well-formed (spans balanced, clocks monotone)"),
+        Err(e) => println!("stream: MALFORMED — {e}"),
+    }
+
+    // -- phases: aggregate span-end durations by name ----------------------
+    let mut phases: BTreeMap<&str, PhaseAgg> = BTreeMap::new();
+    for e in &events {
+        if e.kind != Kind::SpanEnd {
+            continue;
+        }
+        let dur = e.dur_ns.unwrap_or(0);
+        let agg = phases.entry(&e.name).or_insert(PhaseAgg { count: 0, total_ns: 0, max_ns: 0 });
+        agg.count += 1;
+        agg.total_ns += dur;
+        agg.max_ns = agg.max_ns.max(dur);
+    }
+    println!("\nphases (per span name):");
+    println!(
+        "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+        "phase", "calls", "total_s", "mean_ms", "max_ms"
+    );
+    for (name, a) in &phases {
+        println!(
+            "  {:<28} {:>8} {:>12.4} {:>12.3} {:>12.3}",
+            name,
+            a.count,
+            secs(a.total_ns),
+            a.total_ns as f64 / a.count as f64 / 1e6,
+            a.max_ns as f64 / 1e6
+        );
+    }
+
+    // -- iterations: each engine.iteration span-end carries its index ------
+    let mut iters: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &events {
+        if e.kind == Kind::SpanEnd && e.name == "engine.iteration" {
+            let i = e.field_u64("iter").unwrap_or(0);
+            *iters.entry(i).or_insert(0) += e.dur_ns.unwrap_or(0);
+        }
+    }
+    if !iters.is_empty() {
+        println!("\niterations:");
+        println!("  {:<6} {:>12}", "iter", "secs");
+        for (i, ns) in &iters {
+            println!("  {:<6} {:>12.4}", i, secs(*ns));
+        }
+    }
+
+    // -- workers: activity per (thread, worker) identity -------------------
+    let mut workers: BTreeMap<(u32, Option<u32>), (u64, u64)> = BTreeMap::new();
+    for e in &events {
+        let slot = workers.entry((e.thread, e.worker)).or_insert((0, 0));
+        slot.0 += 1;
+        if e.kind == Kind::Counter && e.name == "pool.worker" {
+            slot.1 += e.field_u64("items").unwrap_or(0);
+        }
+    }
+    println!("\nworkers (thread / pool-worker id):");
+    println!("  {:<10} {:<8} {:>8} {:>12}", "thread", "worker", "events", "pool_items");
+    for ((t, w), (n, items)) in &workers {
+        let w = w.map_or_else(|| "-".to_owned(), |w| w.to_string());
+        println!("  {:<10} {:<8} {:>8} {:>12}", t, w, n, items);
+    }
+
+    // -- counters: occurrences and per-field sums --------------------------
+    let mut counters: BTreeMap<&str, (u64, BTreeMap<&str, u64>)> = BTreeMap::new();
+    for e in &events {
+        if e.kind != Kind::Counter {
+            continue;
+        }
+        let (n, sums) = counters.entry(&e.name).or_default();
+        *n += 1;
+        for (k, v) in &e.fields {
+            if let Value::U64(u) = v {
+                *sums.entry(k).or_insert(0) += u;
+            }
+        }
+    }
+    println!("\ncounters:");
+    for (name, (n, sums)) in &counters {
+        let fields: Vec<String> = sums.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("  {:<28} x{:<8} {}", name, n, fields.join(" "));
+    }
+
+    if parse_errors > 0 {
+        std::process::exit(1);
+    }
+}

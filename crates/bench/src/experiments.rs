@@ -85,6 +85,10 @@ pub struct RunOutcome {
     pub seeding_secs: f64,
     /// Wall-clock seconds spent in branch-and-prune (not deterministic).
     pub bnp_secs: f64,
+    /// Wall-clock seconds spent inside oracle ranking calls — measured
+    /// separately because the paper *excludes* oracle time from synthesis
+    /// time (not deterministic — telemetry CSV only).
+    pub oracle_secs: f64,
 }
 
 /// Run one synthesis against a ground-truth target.
@@ -119,6 +123,7 @@ fn one_run(target: (i64, i64, i64, i64), cfg_template: &SynthConfig, seed: u64) 
         boxes_carried: solver.boxes_carried,
         seeding_secs: solver.seeding_time.as_secs_f64(),
         bnp_secs: solver.bnp_time.as_secs_f64(),
+        oracle_secs: result.stats.oracle_secs(),
     }
 }
 
@@ -499,7 +504,7 @@ mod tests {
         let tel = crate::report::csv_table1_telemetry(&a_res);
         assert!(tel.starts_with(
             "run,solver_queries,boxes_explored,boxes_pruned,\
-             cache_hits,clauses_reused,boxes_carried,seeding_secs,bnp_secs\n"
+             cache_hits,clauses_reused,boxes_carried,seeding_secs,bnp_secs,oracle_secs\n"
         ));
         assert_eq!(tel.lines().count(), 4, "header + 3 runs:\n{tel}");
     }

@@ -134,19 +134,20 @@ pub fn csv_table1(t: &Table1Result) -> String {
 
 /// Per-run solver telemetry CSV: physical work counters (queries, boxes),
 /// incremental-cache counters (memo hits, clause reuse, carried frontier
-/// boxes) and the wall-clock split between seeding and branch-and-prune.
-/// These columns vary with the cache mode and the timing columns vary run
-/// to run — this file intentionally makes no byte-identity promise.
+/// boxes), the wall-clock split between seeding and branch-and-prune,
+/// and the measured-and-excluded oracle time. These columns vary with
+/// the cache mode and the timing columns vary run to run — this file
+/// intentionally makes no byte-identity promise.
 #[must_use]
 pub fn csv_table1_telemetry(t: &Table1Result) -> String {
     let mut s = String::from(
         "run,solver_queries,boxes_explored,boxes_pruned,\
-         cache_hits,clauses_reused,boxes_carried,seeding_secs,bnp_secs\n",
+         cache_hits,clauses_reused,boxes_carried,seeding_secs,bnp_secs,oracle_secs\n",
     );
     for (i, r) in t.runs.iter().enumerate() {
         let _ = writeln!(
             s,
-            "{},{},{},{},{},{},{},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
             i,
             r.solver_queries,
             r.boxes_explored,
@@ -155,7 +156,8 @@ pub fn csv_table1_telemetry(t: &Table1Result) -> String {
             r.clauses_reused,
             r.boxes_carried,
             r.seeding_secs,
-            r.bnp_secs
+            r.bnp_secs,
+            r.oracle_secs
         );
     }
     s
@@ -239,13 +241,14 @@ mod tests {
             boxes_carried: 9,
             seeding_secs: 1.5,
             bnp_secs: 3.25,
+            oracle_secs: 0.125,
         });
         let csv = csv_table1(&t);
         assert!(csv.contains("0,30,0.97,Converged\n"));
         assert!(!csv.contains("3.25"), "no wall-clock fields in the deterministic CSV");
         assert!(!csv.contains("4567"), "work counters vary with the cache mode — telemetry only");
         let tel = csv_table1_telemetry(&t);
-        assert!(tel.contains("0,120,4567,1234,17,88,9,1.500000,3.250000"));
+        assert!(tel.contains("0,120,4567,1234,17,88,9,1.500000,3.250000,0.125000"));
     }
 
     #[test]

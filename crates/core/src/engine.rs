@@ -10,6 +10,7 @@ use cso_logic::solver::{Outcome, Solver, SolverConfig};
 use cso_logic::{Formula, Model};
 use cso_prefgraph::{PrefGraph, ScenarioId};
 use cso_runtime::hash::Fnv64;
+use cso_runtime::trace::{self, Value};
 use cso_runtime::Rng;
 use cso_sketch::{CompletedObjective, Sketch};
 use std::collections::HashMap;
@@ -100,14 +101,12 @@ fn cache_env_off() -> bool {
     })
 }
 
-/// Diagnostic trace, enabled by setting `CSO_SYNTH_TRACE=1`. Goes to
-/// stderr; intended for debugging synthesis behaviour, not for parsing.
-fn trace(args: std::fmt::Arguments<'_>) {
-    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    let on = *ENABLED.get_or_init(|| std::env::var_os("CSO_SYNTH_TRACE").is_some());
-    if on {
-        eprintln!("[synth] {args}");
-    }
+/// Diagnostic message under the legacy `[synth]` scope. Routed through
+/// [`cso_runtime::trace`]: `CSO_SYNTH_TRACE=1` still prints these to
+/// stderr (it aliases `CSO_TRACE=pretty`), and JSONL sinks capture them
+/// as structured `Message` events.
+fn synth_msg(args: std::fmt::Arguments<'_>) {
+    trace::message("synth", args);
 }
 
 /// Result of one distinguishing-pair search.
@@ -286,18 +285,23 @@ impl Synthesizer {
         if let Some(k) = &key {
             let cache = self.cache.as_mut().expect("key implies cache");
             if let Some(hit) = cache.lookup(k) {
-                trace(format_args!("  solver call replayed from memo (site {site})"));
-                self.iter_solver.cache_hits += 1;
-                self.stats.solver_totals.cache_hits += 1;
+                synth_msg(format_args!("  solver call replayed from memo (site {site})"));
+                trace::counter("cache.memo_hit", || vec![("site", Value::U64(site))]);
+                self.tally(&SolverTelemetry { cache_hits: 1, ..SolverTelemetry::default() });
                 return (hit.outcome, hit.sat_from_seeding);
             }
             if let Some(ws) = warm_site {
                 let before = cache.stats.boxes_carried;
                 if cache.try_warm_unsat(ws, epoch, revision, f) {
                     let carried = cache.stats.boxes_carried - before;
-                    trace(format_args!("  warm-start unsat: {carried} boxes re-refuted"));
-                    self.iter_solver.boxes_carried += carried;
-                    self.stats.solver_totals.boxes_carried += carried;
+                    synth_msg(format_args!("  warm-start unsat: {carried} boxes re-refuted"));
+                    trace::counter("cache.warm_unsat", || {
+                        vec![("site", Value::U64(ws)), ("boxes", Value::U64(carried as u64))]
+                    });
+                    self.tally(&SolverTelemetry {
+                        boxes_carried: carried,
+                        ..SolverTelemetry::default()
+                    });
                     // Not memo-recorded: the cold outcome at this exact key
                     // could be DeltaUnsat/Exhausted rather than Unsat.
                     return (Outcome::Unsat, false);
@@ -341,17 +345,43 @@ impl Synthesizer {
         (scaled as usize).clamp(MIN_BOX_BUDGET, MAX_BOX_BUDGET)
     }
 
+    /// Fold a telemetry delta into both the per-iteration and the per-run
+    /// aggregates — the single point keeping the two from drifting apart.
+    fn tally(&mut self, delta: &SolverTelemetry) {
+        self.iter_solver.merge(delta);
+        self.stats.solver_totals.merge(delta);
+    }
+
     /// Fold one finished solver query into the per-iteration and per-run
-    /// telemetry aggregates.
+    /// telemetry aggregates, mirroring it as a `solver.query` counter
+    /// event (phase times as whole nanoseconds, so
+    /// [`SolverTelemetry::from_events`] reconstructs them exactly).
     fn absorb_solver(&mut self, solver: &Solver) {
-        trace(format_args!(
+        let s = &solver.stats;
+        synth_msg(format_args!(
             "  solver call: boxes={} seeding={:.4}s bnp={:.4}s",
-            solver.stats.boxes_processed,
-            solver.stats.seeding_time.as_secs_f64(),
-            solver.stats.bnp_time.as_secs_f64()
+            s.boxes_processed,
+            s.seeding_time.as_secs_f64(),
+            s.bnp_time.as_secs_f64()
         ));
-        self.iter_solver.absorb(&solver.stats);
-        self.stats.solver_totals.absorb(&solver.stats);
+        trace::counter("solver.query", || {
+            vec![
+                ("boxes", Value::U64(s.boxes_processed as u64)),
+                ("pruned", Value::U64(s.boxes_pruned as u64)),
+                ("residual", Value::U64(s.residual_boxes as u64)),
+                ("samples", Value::U64(s.samples_tried as u64)),
+                ("workers", Value::U64(s.workers as u64)),
+                ("from_seeding", Value::U64(u64::from(s.sat_from_seeding))),
+                (
+                    "seeding_ns",
+                    Value::U64(u64::try_from(s.seeding_time.as_nanos()).unwrap_or(u64::MAX)),
+                ),
+                ("bnp_ns", Value::U64(u64::try_from(s.bnp_time.as_nanos()).unwrap_or(u64::MAX))),
+            ]
+        });
+        let mut delta = SolverTelemetry::default();
+        delta.absorb(s);
+        self.tally(&delta);
     }
 
     /// All coordinate-wise combinations of the hole vectors appearing in
@@ -480,6 +510,7 @@ impl Synthesizer {
             }
         }
         if self.cfg.repair_noise {
+            let _sp = trace::span("engine.noise_repair");
             let removed = cso_prefgraph::noise::repair(&mut self.graph);
             // Epoch salvage: a removed edge whose preference is still
             // entailed by the remaining transitive closure leaves
@@ -513,6 +544,9 @@ impl Synthesizer {
     /// still satisfies every recorded preference, so the search is O(1)
     /// in the common case.
     fn find_candidate(&mut self, seeds: &[Model]) -> Result<CompletedObjective, SynthError> {
+        let _sp = trace::span_with("engine.find_candidate", || {
+            vec![("seeds", Value::U64(seeds.len() as u64))]
+        });
         let feas = self.qb.feasibility(&self.graph);
         // First try at the normal budget, then escalate: a feasibility
         // search only gets hard when every seed was just invalidated
@@ -536,7 +570,7 @@ impl Synthesizer {
                 }
                 Outcome::Unsat => return Err(SynthError::NoViableCandidate),
                 Outcome::DeltaUnsat | Outcome::Exhausted => {
-                    trace(format_args!("feasibility search retry (budget x{budget})"));
+                    synth_msg(format_args!("feasibility search retry (budget x{budget})"));
                 }
             }
         }
@@ -556,6 +590,9 @@ impl Synthesizer {
         exclusions: &[(Scenario, Scenario)],
         extra_seeds: &[Model],
     ) -> PairSearch {
+        let _sp = trace::span_with("engine.pair_search", || {
+            vec![("exclusions", Value::U64(exclusions.len() as u64))]
+        });
         let feas = self.qb.feasibility(&self.graph);
         let mut fast_path_dry = true;
         // Probe every hole at a large separation, then sweep again at
@@ -568,7 +605,7 @@ impl Synthesizer {
             let hole = attempt % n_holes;
             let round = (attempt / n_holes) as i32;
             let sep_rel = (0.2 * 0.5f64.powi(round)).max(self.cfg.delta_rel);
-            trace(format_args!("fb search: hole {hole} sep_rel {sep_rel:.4}"));
+            synth_msg(format_args!("fb search: hole {hole} sep_rel {sep_rel:.4}"));
             let fb_q = cso_logic::Formula::and(vec![
                 feas.clone(),
                 self.qb.holes_differ_from_masked(fa.hole_values(), sep_rel, Some(hole)),
@@ -610,16 +647,16 @@ impl Synthesizer {
                 }
                 // No candidate this far away: try a smaller separation.
                 Outcome::Unsat | Outcome::DeltaUnsat => {
-                    trace(format_args!("fb search: hole {hole} unsat"));
+                    synth_msg(format_args!("fb search: hole {hole} unsat"));
                     continue;
                 }
                 Outcome::Exhausted => {
-                    trace(format_args!("fb search: hole {hole} exhausted"));
+                    synth_msg(format_args!("fb search: hole {hole} exhausted"));
                     fast_path_dry = false;
                     continue;
                 }
             };
-            trace(format_args!("fb found: {fb}"));
+            synth_msg(format_args!("fb found: {fb}"));
             // 2. Scenarios the frozen pair disagrees on. Graph-independent
             // (frozen candidates only), so repeats are exact memo hits.
             let sq = self.qb.scenario_disagreement(fa, &fb, exclusions);
@@ -628,7 +665,7 @@ impl Synthesizer {
             match sq_out {
                 Outcome::Sat(m) => {
                     let pair = self.qb.model_pair(&m);
-                    trace(format_args!("pair found: {} vs {}", pair.0, pair.1));
+                    synth_msg(format_args!("pair found: {} vs {}", pair.0, pair.1));
                     return PairSearch::Found {
                         pair,
                         from_seeding,
@@ -637,7 +674,7 @@ impl Synthesizer {
                 }
                 // This fb happens to agree with fa everywhere; try another.
                 other => {
-                    trace(format_args!("scenario query failed: {other:?}"));
+                    synth_msg(format_args!("scenario query failed: {other:?}"));
                     continue;
                 }
             }
@@ -646,7 +683,8 @@ impl Synthesizer {
         // Joint symbolic query: SAT gives a pair; δ-UNSAT proves
         // convergence. Run at a coarser δ — the fast path has already
         // failed, so this is primarily a proof obligation.
-        trace(format_args!("fast path dry; running joint proof"));
+        synth_msg(format_args!("fast path dry; running joint proof"));
+        let _proof = trace::span("engine.proof");
         let q = self.qb.disambiguation(&self.graph, fa, exclusions);
         // Memo-only (no warm site): here Exhausted and Unsat steer the
         // loop differently, so the warm shortcut could flip a
@@ -684,10 +722,15 @@ impl Synthesizer {
         }
         self.sem_epoch = 0;
         self.qb.take_clause_counters();
+        let _run_span =
+            trace::span_with("engine.run", || vec![("seed", Value::U64(self.cfg.seed))]);
         let run_start = Instant::now();
 
         // Step 1: initial random scenarios (paper: 5 by default).
         if self.cfg.initial_scenarios > 0 {
+            let _sp = trace::span_with("engine.initial_ranking", || {
+                vec![("scenarios", Value::U64(self.cfg.initial_scenarios as u64))]
+            });
             let t0 = Instant::now();
             let mut initial = Vec::new();
             while initial.len() < self.cfg.initial_scenarios {
@@ -697,7 +740,7 @@ impl Synthesizer {
                 }
             }
             self.stats.init_time = t0.elapsed();
-            let ranking = oracle.rank(&initial);
+            let ranking = self.ask_oracle(oracle, &initial);
             self.record_ranking(&initial, &ranking)?;
         }
 
@@ -707,6 +750,8 @@ impl Synthesizer {
         let mut candidate: Option<CompletedObjective> = None;
 
         for iter in 1..=self.cfg.max_iterations {
+            let _iter_span =
+                trace::span_with("engine.iteration", || vec![("iter", Value::U64(iter as u64))]);
             let t0 = Instant::now();
             self.iter_solver = SolverTelemetry::default();
 
@@ -714,7 +759,7 @@ impl Synthesizer {
             let mut all_seeds = feas_seeds.clone();
             all_seeds.extend(self.pool_seeds());
             let fa = self.find_candidate(&all_seeds)?;
-            trace(format_args!("iter {iter}: fa = {fa}"));
+            synth_msg(format_args!("iter {iter}: fa = {fa}"));
             self.remember_candidate(fa.hole_values());
             feas_seeds.clear();
             feas_seeds.push(self.qb.seed_from_holes(fa.hole_values()));
@@ -755,13 +800,13 @@ impl Synthesizer {
             if converged {
                 // The final (unsatisfiable) check is synthesis work but not
                 // an interaction; fold its time into the total only.
-                self.stats.total_time = run_start.elapsed();
+                self.stats.total_time = self.synthesis_elapsed(run_start);
                 outcome = SynthOutcome::Converged;
                 break;
             }
             if pairs.is_empty() {
                 if exhausted_streak >= self.cfg.max_exhausted_streak {
-                    self.stats.total_time = run_start.elapsed();
+                    self.stats.total_time = self.synthesis_elapsed(run_start);
                     outcome = SynthOutcome::ConvergedBudget;
                     break;
                 }
@@ -774,7 +819,7 @@ impl Synthesizer {
             let mut asked = 0;
             for (s1, s2) in &pairs {
                 let query = vec![s1.clone(), s2.clone()];
-                let ranking = oracle.rank(&query);
+                let ranking = self.ask_oracle(oracle, &query);
                 asked += 2;
                 self.record_ranking(&query, &ranking)?;
             }
@@ -789,7 +834,7 @@ impl Synthesizer {
         }
 
         if self.stats.total_time.is_zero() {
-            self.stats.total_time = run_start.elapsed();
+            self.stats.total_time = self.synthesis_elapsed(run_start);
         }
         let objective = match candidate {
             Some(c) => c,
@@ -800,11 +845,40 @@ impl Synthesizer {
     }
 
     /// Fold the query layer's clause-reuse counters into the current
-    /// iteration's telemetry and the run totals.
+    /// iteration's telemetry and the run totals, mirroring them as a
+    /// `query.clauses` counter event.
     fn drain_clause_counters(&mut self) {
-        let (reused, _compiled) = self.qb.take_clause_counters();
-        self.iter_solver.clauses_reused += reused;
-        self.stats.solver_totals.clauses_reused += reused;
+        let (reused, compiled) = self.qb.take_clause_counters();
+        if reused > 0 || compiled > 0 {
+            trace::counter("query.clauses", || {
+                vec![
+                    ("reused", Value::U64(reused as u64)),
+                    ("compiled", Value::U64(compiled as u64)),
+                ]
+            });
+        }
+        self.tally(&SolverTelemetry { clauses_reused: reused, ..SolverTelemetry::default() });
+    }
+
+    /// Ask the oracle to rank `scenarios`, timing the call under an
+    /// `engine.oracle` span. The accumulated [`SynthStats::oracle_time`]
+    /// is subtracted from total synthesis time — the paper excludes
+    /// oracle (user) time, so it is measured-and-excluded rather than
+    /// silently mixed in.
+    fn ask_oracle(&mut self, oracle: &mut dyn Oracle, scenarios: &[Scenario]) -> Ranking {
+        let _sp = trace::span_with("engine.oracle", || {
+            vec![("scenarios", Value::U64(scenarios.len() as u64))]
+        });
+        let t0 = Instant::now();
+        let ranking = oracle.rank(scenarios);
+        self.stats.oracle_time += t0.elapsed();
+        ranking
+    }
+
+    /// Synthesis time elapsed since `run_start`, with accumulated oracle
+    /// time excluded.
+    fn synthesis_elapsed(&self, run_start: Instant) -> std::time::Duration {
+        run_start.elapsed().saturating_sub(self.stats.oracle_time)
     }
 }
 

@@ -26,6 +26,7 @@ use crate::scenario::{MetricSpace, Scenario};
 use cso_logic::{BoxDomain, Formula, Model, Term, VarId, VarRegistry};
 use cso_numeric::{Interval, Rat};
 use cso_prefgraph::{PrefGraph, ScenarioId};
+use cso_runtime::trace::{self, Value};
 use cso_sketch::{CompletedObjective, Sketch};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -179,10 +180,17 @@ impl QueryBuilder {
         if self.caching.get() {
             if let Some((rev, ep, f)) = &*self.feas_cache.borrow() {
                 if *rev == graph.revision() && *ep == graph.epoch() {
+                    trace::counter("query.feas_cache", || vec![("hit", Value::U64(1))]);
                     return f.clone();
                 }
             }
         }
+        let _sp = trace::span_with("query.compile_feasibility", || {
+            vec![
+                ("edges", Value::U64(graph.active_edges().count() as u64)),
+                ("ties", Value::U64(graph.indifference_pairs().len() as u64)),
+            ]
+        });
         let mut conjuncts = Vec::new();
         if let Some(v) = &self.viability {
             conjuncts.push(v.clone());

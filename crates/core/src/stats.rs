@@ -5,6 +5,7 @@
 //! time over nine runs; [`RunSummary`] computes exactly those.
 
 use cso_logic::solver::SolverStats;
+use cso_runtime::trace::{Event, Kind};
 use std::time::Duration;
 
 /// Aggregated δ-solver telemetry, summed over some window of solver
@@ -45,6 +46,11 @@ pub struct SolverTelemetry {
 
 impl SolverTelemetry {
     /// Fold one solver query's statistics into the aggregate.
+    ///
+    /// Only covers what [`SolverStats`] reports — physical solver work.
+    /// The cache-layer fields (`cache_hits`, `clauses_reused`,
+    /// `boxes_carried`) come from the engine's cache paths and flow in
+    /// through [`SolverTelemetry::merge`].
     pub fn absorb(&mut self, s: &SolverStats) {
         self.queries += 1;
         self.boxes_explored += s.boxes_processed;
@@ -54,6 +60,73 @@ impl SolverTelemetry {
         self.seeding_time += s.seeding_time;
         self.bnp_time += s.bnp_time;
         self.max_workers = self.max_workers.max(s.workers);
+    }
+
+    /// Fold another aggregate into this one: every additive field sums,
+    /// `max_workers` takes the max. The exhaustive destructuring makes a
+    /// new telemetry field a compile error here rather than a silently
+    /// dropped count.
+    pub fn merge(&mut self, other: &SolverTelemetry) {
+        let SolverTelemetry {
+            queries,
+            boxes_explored,
+            boxes_pruned,
+            residual_boxes,
+            samples_tried,
+            seeding_time,
+            bnp_time,
+            max_workers,
+            cache_hits,
+            clauses_reused,
+            boxes_carried,
+        } = *other;
+        self.queries += queries;
+        self.boxes_explored += boxes_explored;
+        self.boxes_pruned += boxes_pruned;
+        self.residual_boxes += residual_boxes;
+        self.samples_tried += samples_tried;
+        self.seeding_time += seeding_time;
+        self.bnp_time += bnp_time;
+        self.max_workers = self.max_workers.max(max_workers);
+        self.cache_hits += cache_hits;
+        self.clauses_reused += clauses_reused;
+        self.boxes_carried += boxes_carried;
+    }
+
+    /// Reconstruct an aggregate from a trace event stream — the bridge
+    /// that keeps counters and traces from ever disagreeing. Folds the
+    /// counter events the engine emits (`solver.query`, `cache.memo_hit`,
+    /// `cache.warm_unsat`, `query.clauses`); phase times travel as whole
+    /// nanoseconds, so the reconstruction is exact, not approximate.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> SolverTelemetry {
+        let mut t = SolverTelemetry::default();
+        for e in events {
+            if e.kind != Kind::Counter {
+                continue;
+            }
+            match e.name.as_str() {
+                "solver.query" => {
+                    t.queries += 1;
+                    t.boxes_explored += e.field_u64("boxes").unwrap_or(0) as usize;
+                    t.boxes_pruned += e.field_u64("pruned").unwrap_or(0) as usize;
+                    t.residual_boxes += e.field_u64("residual").unwrap_or(0) as usize;
+                    t.samples_tried += e.field_u64("samples").unwrap_or(0) as usize;
+                    t.seeding_time += Duration::from_nanos(e.field_u64("seeding_ns").unwrap_or(0));
+                    t.bnp_time += Duration::from_nanos(e.field_u64("bnp_ns").unwrap_or(0));
+                    t.max_workers = t.max_workers.max(e.field_u64("workers").unwrap_or(0) as usize);
+                }
+                "cache.memo_hit" => t.cache_hits += 1,
+                "cache.warm_unsat" => {
+                    t.boxes_carried += e.field_u64("boxes").unwrap_or(0) as usize;
+                }
+                "query.clauses" => {
+                    t.clauses_reused += e.field_u64("reused").unwrap_or(0) as usize;
+                }
+                _ => {}
+            }
+        }
+        t
     }
 }
 
@@ -80,8 +153,13 @@ pub struct SynthStats {
     pub records: Vec<IterationRecord>,
     /// Time spent ranking the initial random scenarios (solver-side only).
     pub init_time: Duration,
-    /// Total wall-clock synthesis time (excluding oracle time).
+    /// Total wall-clock synthesis time, excluding oracle time — the
+    /// paper excludes the oracle from synthesis time, so it is measured
+    /// separately ([`SynthStats::oracle_time`]) and subtracted.
     pub total_time: Duration,
+    /// Wall-clock time spent inside `Oracle::rank` calls: measured so it
+    /// can be excluded from `total_time` instead of silently invisible.
+    pub oracle_time: Duration,
     /// Preference edges recorded.
     pub edges_recorded: usize,
     /// Edges removed by noise repair.
@@ -113,6 +191,14 @@ impl SynthStats {
     #[must_use]
     pub fn total_secs(&self) -> f64 {
         self.total_time.as_secs_f64()
+    }
+
+    /// Total oracle time in seconds (excluded from [`total_secs`]).
+    ///
+    /// [`total_secs`]: SynthStats::total_secs
+    #[must_use]
+    pub fn oracle_secs(&self) -> f64 {
+        self.oracle_time.as_secs_f64()
     }
 }
 
@@ -226,10 +312,109 @@ mod tests {
         assert_eq!(t.queries, 2);
         assert_eq!(t.boxes_explored, 20);
         assert_eq!(t.boxes_pruned, 8);
+        assert_eq!(t.residual_boxes, 2);
         assert_eq!(t.samples_tried, 50);
         assert_eq!(t.seeding_time, Duration::from_millis(6));
         assert_eq!(t.bnp_time, Duration::from_millis(14));
         assert_eq!(t.max_workers, 4, "max, not last");
+        // `absorb` records physical solver work only; the cache-layer
+        // fields flow through `merge` and must stay untouched here.
+        assert_eq!(t.cache_hits, 0);
+        assert_eq!(t.clauses_reused, 0);
+        assert_eq!(t.boxes_carried, 0);
+    }
+
+    /// Every field — including the PR 3 cache fields — survives
+    /// aggregation; a dropped field here would silently zero a
+    /// `table1_telemetry.csv` column.
+    #[test]
+    fn telemetry_merge_covers_every_field() {
+        let a = SolverTelemetry {
+            queries: 1,
+            boxes_explored: 2,
+            boxes_pruned: 3,
+            residual_boxes: 4,
+            samples_tried: 5,
+            seeding_time: Duration::from_millis(6),
+            bnp_time: Duration::from_millis(7),
+            max_workers: 8,
+            cache_hits: 9,
+            clauses_reused: 10,
+            boxes_carried: 11,
+        };
+        let mut t = a;
+        t.merge(&SolverTelemetry { max_workers: 3, ..a });
+        assert_eq!(
+            t,
+            SolverTelemetry {
+                queries: 2,
+                boxes_explored: 4,
+                boxes_pruned: 6,
+                residual_boxes: 8,
+                samples_tried: 10,
+                seeding_time: Duration::from_millis(12),
+                bnp_time: Duration::from_millis(14),
+                max_workers: 8,
+                cache_hits: 18,
+                clauses_reused: 20,
+                boxes_carried: 22,
+            }
+        );
+    }
+
+    /// The event-stream reconstruction agrees with direct aggregation:
+    /// one `solver.query` counter per physical solve, cache counters for
+    /// the cache paths, nanosecond-exact phase times.
+    #[test]
+    fn telemetry_from_events_reconstructs_counters() {
+        use cso_runtime::trace::Value;
+        let counter = |name: &str, fields: Vec<(&str, u64)>| Event {
+            kind: Kind::Counter,
+            name: name.to_owned(),
+            thread: 0,
+            worker: None,
+            seq: 0,
+            wall_ns: 0,
+            dur_ns: None,
+            fields: fields.into_iter().map(|(k, v)| (k.to_owned(), Value::U64(v))).collect(),
+        };
+        let events = vec![
+            counter(
+                "solver.query",
+                vec![
+                    ("boxes", 10),
+                    ("pruned", 4),
+                    ("residual", 1),
+                    ("samples", 25),
+                    ("workers", 4),
+                    ("seeding_ns", 3_000_001),
+                    ("bnp_ns", 7_000_002),
+                ],
+            ),
+            counter("cache.memo_hit", vec![("site", 2)]),
+            counter("cache.memo_hit", vec![("site", 3)]),
+            counter("cache.warm_unsat", vec![("site", 2), ("boxes", 12)]),
+            counter("query.clauses", vec![("reused", 30), ("compiled", 5)]),
+        ];
+        let t = SolverTelemetry::from_events(&events);
+        let mut expect = SolverTelemetry::default();
+        expect.absorb(&SolverStats {
+            boxes_processed: 10,
+            boxes_pruned: 4,
+            residual_boxes: 1,
+            samples_tried: 25,
+            sat_from_seeding: false,
+            seeding_time: Duration::from_nanos(3_000_001),
+            bnp_time: Duration::from_nanos(7_000_002),
+            workers: 4,
+        });
+        expect.merge(&SolverTelemetry {
+            cache_hits: 2,
+            boxes_carried: 12,
+            clauses_reused: 30,
+            ..SolverTelemetry::default()
+        });
+        assert_eq!(t, expect);
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::simplify::simplify_formula;
 use crate::term::Formula;
 use crate::vars::BoxDomain;
 use cso_numeric::{Interval, Rat};
+use cso_runtime::trace::{self, Value};
 use cso_runtime::{pool, Rng};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -437,6 +438,9 @@ impl Solver {
         }
 
         if self.cfg.use_seeding {
+            let _sp = trace::span_with("solver.seeding", || {
+                vec![("seeds", Value::U64(seeds.len() as u64))]
+            });
             let t0 = Instant::now();
             let seeded = self.seeding_phase(&f, dom, seeds);
             self.stats.seeding_time = t0.elapsed();
@@ -447,7 +451,10 @@ impl Solver {
         }
 
         let t0 = Instant::now();
-        let out = self.branch_and_prune(&f, dom);
+        let out = {
+            let _sp = trace::span("solver.bnp");
+            self.branch_and_prune(&f, dom)
+        };
         self.stats.bnp_time = t0.elapsed();
         out
     }
@@ -535,6 +542,13 @@ impl Solver {
             // Pop a fixed-size batch; batch[0] is the stack top — exactly
             // the box a sequential DFS would pop first.
             let b = ROUND_SIZE.min(stack.len()).min(remaining);
+            trace::counter("solver.bnp.round", || {
+                vec![
+                    ("batch", Value::U64(b as u64)),
+                    ("stack", Value::U64(stack.len() as u64)),
+                    ("explored", Value::U64(self.stats.boxes_processed as u64)),
+                ]
+            });
             let mut batch: Vec<BoxTask> = Vec::with_capacity(b);
             for _ in 0..b {
                 batch.push(stack.pop().expect("b <= stack.len()"));

@@ -18,6 +18,9 @@
 //!   (replaces `proptest`).
 //! * [`hash`] — a stable FNV-1a hasher for content-derived keys that must
 //!   be identical across processes (the solver cache's query hashing).
+//! * [`trace`] — structured tracing: nested spans, counters, thread/worker
+//!   stamps, and pluggable sinks (JSONL file, stderr pretty-printer,
+//!   in-memory collector); strictly observational and off by default.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +30,6 @@ pub mod hash;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod trace;
 
 pub use rng::Rng;

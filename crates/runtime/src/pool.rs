@@ -94,12 +94,16 @@ where
     let f = &f;
     let results = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 s.spawn(move || {
+                    let _worker = crate::trace::worker_scope(w as u32);
                     let mut part: Vec<(usize, R)> = Vec::new();
                     while let Some((i, item)) = queue.take() {
                         part.push((i, f(item)));
                     }
+                    crate::trace::counter("pool.worker", || {
+                        vec![("items", crate::trace::Value::U64(part.len() as u64))]
+                    });
                     part
                 })
             })
