@@ -36,6 +36,35 @@ CSO_SOLVER_THREADS=4 cargo test -q --workspace --offline
 echo "==> cargo test (CSO_SYNTH_CACHE=off)"
 CSO_SYNTH_CACHE=off cargo test -q --workspace --offline
 
+# Miri pass over the runtime substrate (PRNG, pool, prop, trace): the
+# rest of the workspace forbids `unsafe` outright, so cso-runtime — the
+# one crate whose threading code could ever need it — is the only crate
+# worth interpreting. Skipped when the toolchain lacks the component or
+# when CSO_CI_FAST=1 asks for the short gate.
+if [ "${CSO_CI_FAST:-0}" != 1 ] && cargo miri --version >/dev/null 2>&1; then
+    echo "==> cargo miri test -p cso-runtime"
+    cargo miri test -q --offline -p cso-runtime
+else
+    echo "==> miri unavailable or CSO_CI_FAST=1; skipping interpreter pass"
+fi
+
+# Static analyzer goldens: the linter's machine output is deterministic,
+# so the committed JSON reports are byte-exact. SWAN must stay clean
+# (exit 0, pinned benign infos); the broken fixture must keep failing
+# (exit 1) with the same spanned diagnostics.
+echo "==> sketch-lint goldens"
+LINT=$(mktemp -d)
+cargo run -q --release --offline -p cso-bench --bin sketch-lint -- \
+    --json --bounds 0,10 --bounds 0,200 crates/bench/fixtures/swan.sk > "$LINT/swan.json"
+diff results/swan_lint.json "$LINT/swan.json"
+if cargo run -q --release --offline -p cso-bench --bin sketch-lint -- \
+    --json crates/bench/fixtures/broken.sk > "$LINT/broken.json"; then
+    echo "sketch-lint accepted the broken fixture" >&2
+    exit 1
+fi
+diff results/broken_lint.json "$LINT/broken.json"
+rm -rf "$LINT"
+
 # Golden regression: table1.csv carries semantic fields only (iterations,
 # agreement, outcome), so the cache kill-switch must not change a single
 # byte of it. Only table1_telemetry.csv (work counters, wall-clock) may
@@ -55,6 +84,14 @@ echo "==> table1.csv golden diff (traced vs untraced) + trace-digest smoke"
 CSO_TRACE="jsonl:$GOLD/trace.jsonl" cargo run -q --release --offline -p cso-bench --bin repro -- \
     table1 --csv "$GOLD/traced" >/dev/null
 diff "$GOLD/warm/table1.csv" "$GOLD/traced/table1.csv"
+
+# Lint-gated campaign: with CSO_LINT=deny the engine runs the analyzer
+# (and its box pretightening) before every synthesis; on well-formed
+# sketches that must not move a single byte of the semantic CSV.
+echo "==> table1.csv golden diff (CSO_LINT=deny vs default)"
+CSO_LINT=deny cargo run -q --release --offline -p cso-bench --bin repro -- \
+    table1 --csv "$GOLD/linted" >/dev/null
+diff "$GOLD/warm/table1.csv" "$GOLD/linted/table1.csv"
 cargo run -q --release --offline -p cso-bench --bin trace-digest -- "$GOLD/trace.jsonl" \
     > "$GOLD/digest.txt"
 head -n 4 "$GOLD/digest.txt"

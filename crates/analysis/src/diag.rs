@@ -1,0 +1,294 @@
+//! Diagnostics: severities, stable lint codes, spans, and rendering.
+//!
+//! Every diagnostic anchors to a byte [`Span`] recorded by the sketch
+//! parser. Rendering is deterministic: the same sketch and configuration
+//! always produce byte-identical pretty and JSON output, so JSON reports
+//! can be golden-diffed in CI.
+
+use cso_sketch::Span;
+use std::fmt;
+
+/// How serious a diagnostic is. Ordered most-severe first, so sorting a
+/// report ascending lists errors before warnings before infos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The sketch is broken; the engine refuses it under the deny policy.
+    Error,
+    /// Suspicious but not fatal.
+    Warn,
+    /// Derived facts (output range, hole influence) worth surfacing.
+    Info,
+}
+
+impl Severity {
+    /// Lower-case name used in both pretty and JSON rendering.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// A single finding: a stable code, a kebab-case lint name, a severity,
+/// the source span it anchors to, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable short code (`E001`, `W102`, `I201`, ...). Codes are never
+    /// reused for a different lint.
+    pub code: &'static str,
+    /// Kebab-case lint name (`div-by-zero`, `constant-guard`, ...).
+    pub lint: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Byte span in the sketch source this finding anchors to.
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// An ordered collection of diagnostics for one sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    sketch: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report for the named sketch.
+    #[must_use]
+    pub fn new(sketch: &str) -> Report {
+        Report { sketch: sketch.to_owned(), diagnostics: Vec::new() }
+    }
+
+    /// The sketch name the report is about.
+    #[must_use]
+    pub fn sketch(&self) -> &str {
+        &self.sketch
+    }
+
+    /// Append a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// All diagnostics, in report order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of diagnostics at the given severity.
+    #[must_use]
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == sev).count()
+    }
+
+    /// True when at least one `Error`-level diagnostic is present.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Canonical order: severity (errors first), then span start, then
+    /// code. The sort is stable, so equal keys keep emission order.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.severity, a.span.start, a.code).cmp(&(b.severity, b.span.start, b.code))
+        });
+    }
+
+    /// One-line summary: `objective: 1 error, 2 warnings, 3 infos`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} error(s), {} warning(s), {} info(s)",
+            self.sketch,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        )
+    }
+
+    /// Deterministic machine-readable rendering. `src` must be the source
+    /// text the spans index into (used for line/column numbers).
+    #[must_use]
+    pub fn to_json(&self, src: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"sketch\": \"{}\",\n", escape_json(&self.sketch)));
+        out.push_str(&format!("  \"errors\": {},\n", self.count(Severity::Error)));
+        out.push_str(&format!("  \"warnings\": {},\n", self.count(Severity::Warn)));
+        out.push_str(&format!("  \"infos\": {},\n", self.count(Severity::Info)));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let (line, col) = d.span.line_col(src);
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"code\": \"{}\", \"lint\": \"{}\", \"severity\": \"{}\", \
+                 \"start\": {}, \"end\": {}, \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+                d.code,
+                d.lint,
+                d.severity.as_str(),
+                d.span.start,
+                d.span.end,
+                line,
+                col,
+                escape_json(&d.message)
+            ));
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable rendering with source excerpts and caret
+    /// underlines, one block per diagnostic plus a trailing summary.
+    #[must_use]
+    pub fn render_pretty(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let (line, col) = d.span.line_col(src);
+            out.push_str(&format!(
+                "{}[{}] {}:{line}:{col}: {}\n",
+                d.severity.as_str(),
+                d.code,
+                self.sketch,
+                d.message
+            ));
+            if let Some(text) = source_line(src, d.span.start) {
+                let num = line.to_string();
+                out.push_str(&format!("  {num} | {text}\n"));
+                let carets = d
+                    .span
+                    .end
+                    .saturating_sub(d.span.start)
+                    .min(text.len().saturating_sub(col - 1).max(1));
+                out.push_str(&format!(
+                    "  {} | {}{}\n",
+                    " ".repeat(num.len()),
+                    " ".repeat(col - 1),
+                    "^".repeat(carets.max(1))
+                ));
+            }
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+}
+
+/// The full source line containing byte offset `at`. Returns `None` when
+/// `at` is out of range.
+fn source_line(src: &str, at: usize) -> Option<&str> {
+    if at > src.len() {
+        return None;
+    }
+    let start = src[..at].rfind('\n').map_or(0, |i| i + 1);
+    let end = src[at..].find('\n').map_or(src.len(), |i| at + i);
+    Some(&src[start..end])
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: &'static str, sev: Severity, start: usize) -> Diagnostic {
+        Diagnostic {
+            code,
+            lint: "test-lint",
+            severity: sev,
+            span: Span::new(start, start + 3),
+            message: format!("message for {code}"),
+        }
+    }
+
+    #[test]
+    fn sort_orders_errors_first_then_position() {
+        let mut r = Report::new("s");
+        r.push(diag("I201", Severity::Info, 0));
+        r.push(diag("E001", Severity::Error, 9));
+        r.push(diag("W101", Severity::Warn, 4));
+        r.push(diag("E002", Severity::Error, 2));
+        r.sort();
+        let codes: Vec<_> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["E002", "E001", "W101", "I201"]);
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 2);
+    }
+
+    #[test]
+    fn json_is_wellformed_and_escaped() {
+        let mut r = Report::new("weird \"name\"");
+        r.push(Diagnostic {
+            code: "W101",
+            lint: "possible-div-by-zero",
+            severity: Severity::Warn,
+            span: Span::new(4, 9),
+            message: "quote \" backslash \\ newline \n end".into(),
+        });
+        let j = r.to_json("abc\ndefghijk");
+        assert!(j.contains("\"sketch\": \"weird \\\"name\\\"\""));
+        assert!(j.contains("\\n end"));
+        assert!(j.contains("\"line\": 2"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_json_stable() {
+        let r = Report::new("s");
+        assert_eq!(
+            r.to_json(""),
+            "{\n  \"sketch\": \"s\",\n  \"errors\": 0,\n  \"warnings\": 0,\n  \"infos\": 0,\n  \"diagnostics\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn pretty_render_carets_under_span() {
+        let src = "fn f(x) { 1 / x }";
+        let mut r = Report::new("f");
+        r.push(Diagnostic {
+            code: "W101",
+            lint: "possible-div-by-zero",
+            severity: Severity::Warn,
+            span: Span::new(10, 15),
+            message: "divisor can be zero".into(),
+        });
+        let p = r.render_pretty(src);
+        assert!(p.contains("warn[W101] f:1:11: divisor can be zero"), "{p}");
+        assert!(p.contains("1 | fn f(x) { 1 / x }"), "{p}");
+        assert!(p.contains("^^^^^"), "{p}");
+        assert!(p.ends_with("f: 0 error(s), 1 warning(s), 0 info(s)\n"), "{p}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Interval abstract interpretation of sketch ASTs.
+//!
+//! [`aeval_expr`] / [`aeval_bexpr`] mirror `cso_logic::ieval` *exactly*,
+//! case for case: lowering a sketch body to a `cso_logic::Term` and
+//! interval-evaluating it over an equivalent box yields the same interval
+//! (the cross-check tests assert equality, not just mutual containment).
+//! Keeping the two in lock-step means every soundness argument made for
+//! the solver's refutation semantics carries over to the analyzer.
+//!
+//! [`const_eval`] is the exact counterpart: rational constant folding with
+//! no rounding, used where the analyzer needs certainty (a divisor that
+//! is *provably* the constant zero) rather than a conservative enclosure.
+
+use cso_logic::ieval::{icmp, Tri};
+use cso_logic::CmpOp;
+use cso_numeric::{Interval, Rat};
+use cso_sketch::ast::CmpKind;
+use cso_sketch::{BExpr, Expr};
+
+/// Abstract environment: one interval per hole and per metric parameter,
+/// indexed by the sketch's dense hole/param indices.
+#[derive(Debug, Clone)]
+pub struct AbsEnv {
+    /// Enclosure of each hole's feasible values.
+    pub holes: Vec<Interval>,
+    /// Enclosure of each metric parameter (the metric-space bounds).
+    pub params: Vec<Interval>,
+}
+
+/// Interval enclosing the exact rational range `[lo, hi]`. Endpoints that
+/// `to_f64` represents exactly are kept as-is (so integer bounds — the
+/// common case — stay sharp); inexact conversions are rounded outward by
+/// one ulp, covering the true rational whatever direction `to_f64`
+/// rounded. Either way the result is a superset of
+/// `[lo.to_f64(), hi.to_f64()]`, so intersecting a solver box with it can
+/// never cut off a feasible point.
+#[must_use]
+pub fn rat_interval(lo: &Rat, hi: &Rat) -> Interval {
+    let a = lo.to_f64();
+    let b = hi.to_f64();
+    let a = if a.is_finite() && Rat::from_f64(a).as_ref() != Some(lo) { a.next_down() } else { a };
+    let b = if b.is_finite() && Rat::from_f64(b).as_ref() != Some(hi) { b.next_up() } else { b };
+    Interval::new(a, b)
+}
+
+/// Map a sketch comparison operator to its `cso-logic` counterpart.
+#[must_use]
+pub fn cmp_op(k: CmpKind) -> CmpOp {
+    match k {
+        CmpKind::Lt => CmpOp::Lt,
+        CmpKind::Le => CmpOp::Le,
+        CmpKind::Gt => CmpOp::Gt,
+        CmpKind::Ge => CmpOp::Ge,
+        CmpKind::Eq => CmpOp::Eq,
+        CmpKind::Ne => CmpOp::Ne,
+    }
+}
+
+/// Sound enclosure of a sketch expression over the environment. Mirrors
+/// `cso_logic::ieval::ieval_term` case for case.
+#[must_use]
+pub fn aeval_expr(e: &Expr, env: &AbsEnv) -> Interval {
+    match e {
+        Expr::Num(r) => Interval::point(r.to_f64()),
+        Expr::Param(i) => env.params[*i],
+        Expr::Hole(i) => env.holes[*i],
+        Expr::Neg(a) => -aeval_expr(a, env),
+        Expr::Add(a, b) => aeval_expr(a, env) + aeval_expr(b, env),
+        Expr::Sub(a, b) => aeval_expr(a, env) - aeval_expr(b, env),
+        Expr::Mul(a, b) => aeval_expr(a, env) * aeval_expr(b, env),
+        Expr::Div(a, b) => aeval_expr(a, env) / aeval_expr(b, env),
+        Expr::Min(a, b) => aeval_expr(a, env).min_i(&aeval_expr(b, env)),
+        Expr::Max(a, b) => aeval_expr(a, env).max_i(&aeval_expr(b, env)),
+        Expr::If(c, a, b) => match aeval_bexpr(c, env) {
+            Tri::True => aeval_expr(a, env),
+            Tri::False => aeval_expr(b, env),
+            Tri::Unknown => aeval_expr(a, env).hull(&aeval_expr(b, env)),
+        },
+    }
+}
+
+/// Three-valued verdict of a sketch condition over the environment.
+/// Mirrors `cso_logic::ieval::ieval_formula` on the image of the sketch
+/// lowering (binary `And`/`Or`, `Not`, comparisons).
+#[must_use]
+pub fn aeval_bexpr(e: &BExpr, env: &AbsEnv) -> Tri {
+    match e {
+        BExpr::Cmp(k, a, b) => icmp(cmp_op(*k), aeval_expr(a, env), aeval_expr(b, env)),
+        BExpr::And(a, b) => aeval_bexpr(a, env).and(aeval_bexpr(b, env)),
+        BExpr::Or(a, b) => aeval_bexpr(a, env).or(aeval_bexpr(b, env)),
+        BExpr::Not(a) => aeval_bexpr(a, env).not(),
+    }
+}
+
+/// Exact rational value of a constant expression, or `None` when the
+/// expression mentions a parameter or hole, divides by zero, or takes a
+/// branch whose condition is not itself constant.
+#[must_use]
+pub fn const_eval(e: &Expr) -> Option<Rat> {
+    match e {
+        Expr::Num(r) => Some(r.clone()),
+        Expr::Param(_) | Expr::Hole(_) => None,
+        Expr::Neg(a) => Some(-const_eval(a)?),
+        Expr::Add(a, b) => Some(const_eval(a)? + const_eval(b)?),
+        Expr::Sub(a, b) => Some(const_eval(a)? - const_eval(b)?),
+        Expr::Mul(a, b) => Some(const_eval(a)? * const_eval(b)?),
+        Expr::Div(a, b) => {
+            let d = const_eval(b)?;
+            if d.is_zero() {
+                None
+            } else {
+                Some(const_eval(a)? / d)
+            }
+        }
+        Expr::Min(a, b) => Some(const_eval(a)?.min(const_eval(b)?)),
+        Expr::Max(a, b) => Some(const_eval(a)?.max(const_eval(b)?)),
+        Expr::If(c, a, b) => {
+            if const_beval(c)? {
+                const_eval(a)
+            } else {
+                const_eval(b)
+            }
+        }
+    }
+}
+
+/// Exact truth value of a constant condition, or `None` when undecidable
+/// by constant folding.
+#[must_use]
+pub fn const_beval(e: &BExpr) -> Option<bool> {
+    match e {
+        BExpr::Cmp(k, a, b) => {
+            let x = const_eval(a)?;
+            let y = const_eval(b)?;
+            Some(match k {
+                CmpKind::Lt => x < y,
+                CmpKind::Le => x <= y,
+                CmpKind::Gt => x > y,
+                CmpKind::Ge => x >= y,
+                CmpKind::Eq => x == y,
+                CmpKind::Ne => x != y,
+            })
+        }
+        BExpr::And(a, b) => Some(const_beval(a)? && const_beval(b)?),
+        BExpr::Or(a, b) => Some(const_beval(a)? || const_beval(b)?),
+        BExpr::Not(a) => Some(!const_beval(a)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_sketch::Sketch;
+
+    fn env_for(s: &Sketch, params: &[(f64, f64)]) -> AbsEnv {
+        let holes = s
+            .holes()
+            .iter()
+            .map(|h| {
+                let (lo, hi) = h.bounds.clone().expect("test sketches declare ranges");
+                rat_interval(&lo, &hi)
+            })
+            .collect();
+        let params = params.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect();
+        AbsEnv { holes, params }
+    }
+
+    #[test]
+    fn swan_output_enclosure_contains_known_values() {
+        let s = cso_sketch::swan::swan_sketch();
+        let env = env_for(&s, &[(0.0, 10.0), (0.0, 200.0)]);
+        let iv = aeval_expr(s.body(), &env);
+        // Known concrete values from the sketch tests: f(2,10) = 982 and
+        // f(2,100) = -998 under the Figure 2b completion.
+        assert!(iv.contains_f64(982.0), "{iv:?}");
+        assert!(iv.contains_f64(-998.0), "{iv:?}");
+        // Coarse sanity on the enclosure: bounded by the worst products.
+        assert!(iv.lo() >= -20001.0 && iv.hi() <= 21011.0, "{iv:?}");
+    }
+
+    #[test]
+    fn decided_guard_drops_the_dead_branch() {
+        let s = Sketch::parse("fn f(x) { if x >= 0 then 1 else 100 }").unwrap();
+        let env = AbsEnv { holes: vec![], params: vec![Interval::new(2.0, 5.0)] };
+        let iv = aeval_expr(s.body(), &env);
+        assert_eq!((iv.lo(), iv.hi()), (1.0, 1.0));
+        let tri = match s.body() {
+            Expr::If(c, _, _) => aeval_bexpr(c, &env),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tri, Tri::True);
+    }
+
+    #[test]
+    fn const_eval_is_exact() {
+        let s = Sketch::parse("fn f(x) { x + (2 - 2) * 10 + 6 / 4 }").unwrap();
+        // The constant subtree (2 - 2) folds to exactly zero — something
+        // outward-rounded intervals cannot prove.
+        match s.body() {
+            Expr::Add(lhs, _) => match &**lhs {
+                Expr::Add(_, mul) => match &**mul {
+                    Expr::Mul(z, _) => assert_eq!(const_eval(z), Some(Rat::zero())),
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // Whole-body folding fails (mentions x).
+        assert_eq!(const_eval(s.body()), None);
+        // Exact fraction: 6/4 = 3/2.
+        let frac = Sketch::parse("fn f(x) { 6 / 4 }").unwrap();
+        assert_eq!(const_eval(frac.body()), Some(Rat::from_frac(3, 2)));
+        // Division by a folded zero is not a value.
+        let bad = Sketch::parse("fn f(x) { 1 / (2 - 2) }").unwrap();
+        assert_eq!(const_eval(bad.body()), None);
+    }
+
+    #[test]
+    fn const_beval_decides_constant_guards() {
+        let s = Sketch::parse("fn f(x) { if 1 >= 0 && !(2 > 3) then 1 else 0 }").unwrap();
+        match s.body() {
+            Expr::If(c, _, _) => assert_eq!(const_beval(c), Some(true)),
+            other => panic!("{other:?}"),
+        }
+        let dep = Sketch::parse("fn f(x) { if x > 0 then 1 else 0 }").unwrap();
+        match dep.body() {
+            Expr::If(c, _, _) => assert_eq!(const_beval(c), None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rat_interval_is_outward() {
+        let lo = Rat::from_frac(1, 3);
+        let hi = Rat::from_frac(2, 3);
+        let iv = rat_interval(&lo, &hi);
+        assert!(iv.lo() < lo.to_f64() && iv.hi() > hi.to_f64());
+        // Exact endpoints stay enclosed too.
+        let exact = rat_interval(&Rat::zero(), &Rat::from_int(10));
+        assert!(exact.contains(&Interval::new(0.0, 10.0)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-check: the analyzer's abstract interpreter over sketch ASTs
+//! agrees *exactly* with `cso_logic::ieval` over the lowered term.
+//!
+//! [`aeval_expr`] was written to mirror [`ieval_term`] operation for
+//! operation (point constants, interval arithmetic, `min_i`/`max_i`,
+//! Kleene `If` with a hull on `Unknown`), so on any sketch without
+//! redundant guards the two must return the same interval — not just
+//! overlapping enclosures, bit-identical endpoints. This pins the mirror:
+//! if either side changes its rounding or its `If` semantics, this test
+//! names the sketch that diverged.
+//!
+//! Every built-in sketch is checked over several metric boxes, including
+//! boxes that force each guard to `True`, `False`, and `Unknown`.
+
+use cso_analysis::{aeval_expr, AbsEnv};
+use cso_logic::ieval::ieval_term;
+use cso_logic::{BoxDomain, Term, VarRegistry};
+use cso_numeric::Interval;
+use cso_sketch::swan::{abr_qoe_sketch, multi_region_sketch, swan_sketch, three_metric_sketch};
+use cso_sketch::Sketch;
+
+/// Evaluate `sketch` both ways over the given hole/param boxes and demand
+/// identical intervals.
+fn assert_agree(sketch: &Sketch, holes: &[Interval], params: &[Interval]) {
+    // Analyzer side: abstract interpretation straight over the AST.
+    let env = AbsEnv { holes: holes.to_vec(), params: params.to_vec() };
+    let abstracted = aeval_expr(sketch.body(), &env);
+
+    // Logic side: lower to a term over fresh solver variables, then run
+    // the refutation evaluator over an equivalent box domain.
+    let mut reg = VarRegistry::new();
+    let hole_terms: Vec<Term> =
+        sketch.holes().iter().map(|h| Term::var(reg.intern(&format!("hole.{}", h.name)))).collect();
+    let param_terms: Vec<Term> =
+        sketch.params().iter().map(|p| Term::var(reg.intern(&format!("param.{p}")))).collect();
+    let mut dom = BoxDomain::new(&reg);
+    for (t, iv) in hole_terms.iter().zip(holes) {
+        if let Term::Var(id) = t {
+            dom.set(*id, *iv);
+        }
+    }
+    for (t, iv) in param_terms.iter().zip(params) {
+        if let Term::Var(id) = t {
+            dom.set(*id, *iv);
+        }
+    }
+    let lowered = sketch.lower(&hole_terms, &param_terms);
+    let concrete = ieval_term(&lowered, &dom);
+
+    assert_eq!(
+        (abstracted.lo(), abstracted.hi()),
+        (concrete.lo(), concrete.hi()),
+        "aeval/ieval divergence on `{}` over holes {holes:?}, params {params:?}",
+        sketch.name()
+    );
+}
+
+/// Declared hole ranges as intervals (every built-in declares bounds at
+/// the first occurrence of each hole).
+fn declared_holes(sketch: &Sketch) -> Vec<Interval> {
+    sketch
+        .holes()
+        .iter()
+        .map(|h| {
+            let (lo, hi) = h.bounds.as_ref().expect("built-in holes carry ranges");
+            Interval::new(lo.to_f64(), hi.to_f64())
+        })
+        .collect()
+}
+
+/// A spread of metric boxes for an n-parameter sketch: the full space,
+/// a pinned point, a low corner, and a high corner — enough to drive the
+/// guards through all three truth values.
+fn param_grids(n: usize) -> Vec<Vec<Interval>> {
+    let full = |i: usize| if i == 0 { Interval::new(0.0, 10.0) } else { Interval::new(0.0, 200.0) };
+    vec![
+        (0..n).map(full).collect(),
+        (0..n).map(|_| Interval::point(5.0)).collect(),
+        (0..n).map(|_| Interval::new(0.0, 0.5)).collect(),
+        (0..n)
+            .map(|i| if i == 0 { Interval::new(9.0, 10.0) } else { Interval::new(150.0, 200.0) })
+            .collect(),
+    ]
+}
+
+fn check_all_grids(sketch: &Sketch) {
+    let holes = declared_holes(sketch);
+    for params in param_grids(sketch.params().len()) {
+        assert_agree(sketch, &holes, &params);
+    }
+    // Pinned holes exercise the `If` branches the wide boxes hull over.
+    let pinned: Vec<Interval> = holes.iter().map(|h| Interval::point(h.midpoint())).collect();
+    for params in param_grids(sketch.params().len()) {
+        assert_agree(sketch, &pinned, &params);
+    }
+}
+
+#[test]
+fn swan_agrees_with_ieval() {
+    check_all_grids(&swan_sketch());
+}
+
+#[test]
+fn multi_region_agrees_with_ieval() {
+    check_all_grids(&multi_region_sketch());
+}
+
+#[test]
+fn three_metric_agrees_with_ieval() {
+    check_all_grids(&three_metric_sketch());
+}
+
+#[test]
+fn abr_qoe_agrees_with_ieval() {
+    check_all_grids(&abr_qoe_sketch());
+}
+
+/// Division mirrors too, including the divisor-straddles-zero case where
+/// both evaluators must widen to the whole line rather than fault.
+#[test]
+fn division_sketches_agree_with_ieval() {
+    let safe = Sketch::parse("fn f(x) { x / (x + 1) + ??g in [1, 2] }").expect("parses");
+    let risky = Sketch::parse("fn f(x) { 1 / (x - 5) }").expect("parses");
+    for params in [vec![Interval::new(1.0, 4.0)], vec![Interval::new(0.0, 10.0)]] {
+        assert_agree(&safe, &[Interval::new(1.0, 2.0)], &params);
+        assert_agree(&risky, &[], &params);
+    }
+}

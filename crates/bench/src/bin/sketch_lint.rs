@@ -1,0 +1,122 @@
+//! Standalone sketch linter: parse a sketch file, run the static
+//! analyzer, and render the findings.
+//!
+//! ```text
+//! sketch-lint [--json] [--bounds LO,HI]... FILE
+//! ```
+//!
+//! `--bounds LO,HI` supplies the inclusive metric bounds for the next
+//! parameter in declaration order (repeat once per metric); parameters
+//! without bounds are analyzed over the whole real line. `--json` emits
+//! the deterministic machine-readable report instead of the pretty
+//! rendering (same bytes for the same input — golden-diffable in CI).
+//!
+//! Exit codes: `0` clean or warnings only, `1` at least one `Error`-level
+//! finding (or a parse failure), `2` usage or I/O error.
+
+use cso_analysis::{analyze, AnalysisConfig, Diagnostic, Report, Severity};
+use cso_numeric::Rat;
+use cso_sketch::{Sketch, Span};
+
+fn usage() -> ! {
+    eprintln!("usage: sketch-lint [--json] [--bounds LO,HI]... FILE");
+    std::process::exit(2);
+}
+
+/// Parse one `LO,HI` bounds argument into exact rationals.
+fn parse_bounds(s: &str) -> Option<(Rat, Rat)> {
+    let (lo, hi) = s.split_once(',')?;
+    let lo = parse_rat(lo.trim())?;
+    let hi = parse_rat(hi.trim())?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Exact rational from a decimal literal (`-3`, `2.5`, `0.125`).
+fn parse_rat(s: &str) -> Option<Rat> {
+    let (sign, digits) = match s.strip_prefix('-') {
+        Some(rest) => (-1i64, rest),
+        None => (1, s),
+    };
+    let (int, frac) = match digits.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (digits, ""),
+    };
+    if int.is_empty() && frac.is_empty() {
+        return None;
+    }
+    if !int.chars().all(|c| c.is_ascii_digit()) || !frac.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let mut num = Rat::zero();
+    for c in int.chars().chain(frac.chars()) {
+        num = &(&num * &Rat::from_int(10)) + &Rat::from_int(i64::from(c as u8 - b'0'));
+    }
+    let mut denom = Rat::one();
+    for _ in 0..frac.len() {
+        denom = &denom * &Rat::from_int(10);
+    }
+    Some(&(&num / &denom) * &Rat::from_int(sign))
+}
+
+/// Render a lex/parse failure as a spanned report so broken files still
+/// produce stable, machine-readable diagnostics.
+fn parse_error_report(name: &str, offset: usize, message: String) -> Report {
+    let mut report = Report::new(name);
+    report.push(Diagnostic {
+        code: "E000",
+        lint: "parse-error",
+        severity: Severity::Error,
+        span: Span::new(offset, offset + 1),
+        message,
+    });
+    report
+}
+
+fn main() {
+    let mut json = false;
+    let mut bounds: Vec<(Rat, Rat)> = Vec::new();
+    let mut file: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--bounds" => {
+                let Some(arg) = it.next() else { usage() };
+                let Some(b) = parse_bounds(&arg) else {
+                    eprintln!("invalid --bounds {arg:?} (expected LO,HI with LO <= HI)");
+                    std::process::exit(2);
+                };
+                bounds.push(b);
+            }
+            "--help" | "-h" => usage(),
+            other if file.is_none() && !other.starts_with('-') => file = Some(a),
+            _ => usage(),
+        }
+    }
+    let Some(path) = file else { usage() };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let stem = std::path::Path::new(&path)
+        .file_stem()
+        .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+    let report = match Sketch::parse(&src) {
+        Ok(sketch) => {
+            let cfg = AnalysisConfig { param_bounds: bounds, ..AnalysisConfig::default() };
+            analyze(&sketch, &cfg).report
+        }
+        Err(e) => parse_error_report(&stem, e.offset.unwrap_or(0), e.message.clone()),
+    };
+
+    if json {
+        print!("{}", report.to_json(&src));
+    } else {
+        print!("{}", report.render_pretty(&src));
+    }
+    std::process::exit(i32::from(report.has_errors()));
+}

@@ -142,12 +142,13 @@ pub fn csv_table1(t: &Table1Result) -> String {
 pub fn csv_table1_telemetry(t: &Table1Result) -> String {
     let mut s = String::from(
         "run,solver_queries,boxes_explored,boxes_pruned,\
-         cache_hits,clauses_reused,boxes_carried,seeding_secs,bnp_secs,oracle_secs\n",
+         cache_hits,clauses_reused,boxes_carried,boxes_pretightened,\
+         seeding_secs,bnp_secs,oracle_secs\n",
     );
     for (i, r) in t.runs.iter().enumerate() {
         let _ = writeln!(
             s,
-            "{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
             i,
             r.solver_queries,
             r.boxes_explored,
@@ -155,6 +156,7 @@ pub fn csv_table1_telemetry(t: &Table1Result) -> String {
             r.cache_hits,
             r.clauses_reused,
             r.boxes_carried,
+            r.boxes_pretightened,
             r.seeding_secs,
             r.bnp_secs,
             r.oracle_secs
@@ -239,6 +241,7 @@ mod tests {
             cache_hits: 17,
             clauses_reused: 88,
             boxes_carried: 9,
+            boxes_pretightened: 0,
             seeding_secs: 1.5,
             bnp_secs: 3.25,
             oracle_secs: 0.125,
@@ -248,7 +251,8 @@ mod tests {
         assert!(!csv.contains("3.25"), "no wall-clock fields in the deterministic CSV");
         assert!(!csv.contains("4567"), "work counters vary with the cache mode — telemetry only");
         let tel = csv_table1_telemetry(&t);
-        assert!(tel.contains("0,120,4567,1234,17,88,9,1.500000,3.250000,0.125000"));
+        assert!(tel.contains("boxes_pretightened"));
+        assert!(tel.contains("0,120,4567,1234,17,88,9,0,1.500000,3.250000,0.125000"));
     }
 
     #[test]

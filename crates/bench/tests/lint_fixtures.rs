@@ -1,0 +1,52 @@
+//! The lint fixtures under `fixtures/` feed the CI golden checks; these
+//! tests pin them to the built-in sketches and the analyzer's verdicts so
+//! a drifting fixture fails here, close to the source, instead of as an
+//! opaque golden-file diff.
+
+use cso_analysis::{analyze, AnalysisConfig, Severity};
+use cso_numeric::Rat;
+use cso_sketch::swan::SWAN_SKETCH_SRC;
+use cso_sketch::Sketch;
+
+const SWAN_FIXTURE: &str = include_str!("../fixtures/swan.sk");
+const BROKEN_FIXTURE: &str = include_str!("../fixtures/broken.sk");
+
+fn swan_cfg() -> AnalysisConfig {
+    AnalysisConfig {
+        param_bounds: vec![(Rat::zero(), Rat::from_int(10)), (Rat::zero(), Rat::from_int(200))],
+        ..AnalysisConfig::default()
+    }
+}
+
+#[test]
+fn swan_fixture_is_the_builtin_sketch() {
+    assert_eq!(SWAN_FIXTURE.trim_end(), SWAN_SKETCH_SRC);
+}
+
+#[test]
+fn swan_fixture_lints_clean() {
+    let sketch = Sketch::parse(SWAN_FIXTURE).expect("fixture parses");
+    let a = analyze(&sketch, &swan_cfg());
+    assert!(!a.report.has_errors(), "{:?}", a.report);
+    assert_eq!(a.report.count(Severity::Warn), 0, "{:?}", a.report);
+    // The benign infos are pinned: one output range + one influence bound
+    // per hole.
+    assert_eq!(a.report.count(Severity::Info), 1 + sketch.holes().len());
+}
+
+#[test]
+fn broken_fixture_trips_the_expected_lints() {
+    let sketch = Sketch::parse(BROKEN_FIXTURE).expect("fixture parses");
+    let a = analyze(&sketch, &AnalysisConfig::default());
+    assert!(a.report.has_errors());
+    let codes: Vec<&str> = a.report.diagnostics().iter().map(|d| d.code).collect();
+    for expected in ["E001", "W102", "W108", "W107", "W106"] {
+        assert!(codes.contains(&expected), "missing {expected} in {codes:?}");
+    }
+    // The division span points at the whole division expression in the
+    // fixture's source text.
+    let div = a.report.diagnostics().iter().find(|d| d.code == "E001").expect("E001");
+    assert_eq!(&BROKEN_FIXTURE[div.span.start..div.span.end], "x / (2 - 2)");
+    // JSON rendering is deterministic: two renders are byte-identical.
+    assert_eq!(a.report.to_json(BROKEN_FIXTURE), a.report.to_json(BROKEN_FIXTURE));
+}

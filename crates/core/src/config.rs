@@ -3,6 +3,23 @@
 use cso_logic::solver::SolverConfig;
 use cso_numeric::Rat;
 
+/// What the engine does with static-analysis findings on the sketch.
+///
+/// The `CSO_LINT` environment variable (`deny`, `warn`, or `off`)
+/// overrides the configured policy process-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintPolicy {
+    /// Run the analyzer and refuse sketches with `Error`-level findings
+    /// (the default): a sketch that divides by a constant zero or can
+    /// never rank two scenarios apart would waste the whole oracle budget.
+    Deny,
+    /// Run the analyzer and surface findings as trace messages, but
+    /// synthesize regardless of severity.
+    Warn,
+    /// Skip the analyzer entirely.
+    Off,
+}
+
 /// Tuning knobs for the interactive synthesis loop.
 ///
 /// Defaults reproduce the paper's baseline configuration: 5 random initial
@@ -52,6 +69,18 @@ pub struct SynthConfig {
     /// `CSO_SYNTH_CACHE=off` environment variable overrides this to force
     /// the cold path process-wide.
     pub incremental: bool,
+    /// Static-analysis policy applied to the sketch before synthesis.
+    /// `CSO_LINT={deny,warn,off}` overrides it process-wide.
+    pub lint: LintPolicy,
+    /// Intersect the solver's initial box with the analyzer's inferred
+    /// hole enclosures. The enclosures are outward-rounded supersets of
+    /// the declared ranges, so on well-formed sketches this is an exact
+    /// no-op and synthesis outcomes stay byte-identical (enforced by the
+    /// `pretighten_equivalence` differential tests); any dimension a
+    /// future sharper inference does shrink is counted in the
+    /// `boxes_pretightened` telemetry. Ignored when `lint` is
+    /// [`LintPolicy::Off`] (no analysis runs).
+    pub pretighten: bool,
 }
 
 impl Default for SynthConfig {
@@ -71,6 +100,8 @@ impl Default for SynthConfig {
             disamb_attempts: 6,
             proof_delta_factor: 2.0,
             incremental: true,
+            lint: LintPolicy::Deny,
+            pretighten: true,
         }
     }
 }
@@ -102,6 +133,8 @@ mod tests {
         assert_eq!(c.initial_scenarios, 5);
         assert_eq!(c.pairs_per_iteration, 1);
         assert!(c.margin.is_positive());
+        assert_eq!(c.lint, LintPolicy::Deny);
+        assert!(c.pretighten);
     }
 
     #[test]

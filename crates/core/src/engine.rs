@@ -1,12 +1,14 @@
 //! The interactive comparative-synthesis loop (paper §4.2, Figure 1).
 
-use crate::config::SynthConfig;
+use crate::config::{LintPolicy, SynthConfig};
 use crate::oracle::{Oracle, Ranking};
 use crate::query::QueryBuilder;
 use crate::scenario::{MetricSpace, Scenario};
 use crate::stats::{IterationRecord, SolverTelemetry, SynthStats};
+use cso_analysis::{analyze, AnalysisConfig, Report};
 use cso_logic::cache::{QueryKey, SolverCache};
 use cso_logic::solver::{Outcome, Solver, SolverConfig};
+use cso_logic::BoxDomain;
 use cso_logic::{Formula, Model};
 use cso_prefgraph::{PrefGraph, ScenarioId};
 use cso_runtime::hash::Fnv64;
@@ -61,6 +63,10 @@ pub enum SynthError {
     InconsistentPreferences,
     /// The oracle returned a ranking that does not cover the query.
     InvalidRanking,
+    /// Static analysis found `Error`-level defects in the sketch and the
+    /// lint policy is [`LintPolicy::Deny`]. Carries the full report so
+    /// callers can render the findings (spans, codes, messages).
+    SketchRejected(Report),
 }
 
 impl fmt::Display for SynthError {
@@ -76,6 +82,9 @@ impl fmt::Display for SynthError {
                 write!(f, "oracle answers are contradictory and repair is disabled")
             }
             SynthError::InvalidRanking => write!(f, "oracle ranking does not cover the query"),
+            SynthError::SketchRejected(report) => {
+                write!(f, "sketch rejected by static analysis: {}", report.summary())
+            }
         }
     }
 }
@@ -98,6 +107,19 @@ fn cache_env_off() -> bool {
     static OFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *OFF.get_or_init(|| {
         matches!(std::env::var("CSO_SYNTH_CACHE").ok().as_deref(), Some("off" | "0"))
+    })
+}
+
+/// Process-wide lint-policy override: `CSO_LINT=deny|warn|off` wins over
+/// [`SynthConfig::lint`]; unset or unrecognized values defer to the
+/// configuration.
+fn lint_env_policy() -> Option<LintPolicy> {
+    static POLICY: std::sync::OnceLock<Option<LintPolicy>> = std::sync::OnceLock::new();
+    *POLICY.get_or_init(|| match std::env::var("CSO_LINT").ok().as_deref() {
+        Some("deny") => Some(LintPolicy::Deny),
+        Some("warn") => Some(LintPolicy::Warn),
+        Some("off" | "0") => Some(LintPolicy::Off),
+        _ => None,
     })
 }
 
@@ -126,6 +148,16 @@ pub struct Synthesizer {
     sketch: Sketch,
     cfg: SynthConfig,
     qb: QueryBuilder,
+    /// Solver domain every query runs over: the query builder's box,
+    /// intersected with the analyzer's inferred hole enclosures when
+    /// pretightening is on. Computed once — the domain is part of every
+    /// memo key, so it must never drift mid-run.
+    domain: BoxDomain,
+    /// Dimensions the analyzer's enclosures strictly shrank (0 on
+    /// well-formed sketches; see [`SynthConfig::pretighten`]).
+    pretightened_dims: usize,
+    /// Static-analysis report, when the lint policy ran the analyzer.
+    lint_report: Option<Report>,
     graph: PrefGraph<Scenario>,
     vertex_of: HashMap<Scenario, ScenarioId>,
     rng: Rng,
@@ -156,7 +188,9 @@ impl Synthesizer {
     ///
     /// # Errors
     /// Returns [`SynthError::SpaceMismatch`] if the sketch arity differs
-    /// from the space dimension count.
+    /// from the space dimension count, or [`SynthError::SketchRejected`]
+    /// when static analysis finds `Error`-level defects under the
+    /// [`LintPolicy::Deny`] policy.
     pub fn new(
         sketch: Sketch,
         space: MetricSpace,
@@ -169,6 +203,47 @@ impl Synthesizer {
             });
         }
         let qb = QueryBuilder::new(sketch.clone(), space.clone(), &cfg);
+        let mut domain = qb.domain();
+        let mut pretightened_dims = 0usize;
+        let mut lint_report = None;
+        let policy = lint_env_policy().unwrap_or(cfg.lint);
+        if policy != LintPolicy::Off {
+            let analysis = analyze(
+                &sketch,
+                &AnalysisConfig {
+                    param_bounds: space.all_bounds().to_vec(),
+                    default_hole_range: cfg.default_hole_range.clone(),
+                },
+            );
+            for d in analysis.report.diagnostics() {
+                synth_msg(format_args!(
+                    "lint {}[{}] at {}: {}",
+                    d.severity.as_str(),
+                    d.code,
+                    d.span,
+                    d.message
+                ));
+            }
+            if policy == LintPolicy::Deny && analysis.report.has_errors() {
+                return Err(SynthError::SketchRejected(analysis.report));
+            }
+            if cfg.pretighten {
+                for (i, &id) in qb.hole_ids().iter().enumerate() {
+                    let cur = domain.get(id);
+                    // The inferred enclosure is a superset of the declared
+                    // range by construction, so the intersection cannot be
+                    // empty; any strict shrink means the analyzer proved a
+                    // sharper bound than the declaration.
+                    if let Some(tight) = cur.intersect(&analysis.hole_boxes[i]) {
+                        if tight != cur {
+                            pretightened_dims += 1;
+                            domain.set(id, tight);
+                        }
+                    }
+                }
+            }
+            lint_report = Some(analysis.report);
+        }
         let rng = Rng::seed_from_u64(cfg.seed);
         let incremental = cfg.incremental && !cache_env_off();
         qb.set_caching(incremental);
@@ -176,6 +251,9 @@ impl Synthesizer {
             sketch,
             cfg,
             qb,
+            domain,
+            pretightened_dims,
+            lint_report,
             graph: PrefGraph::new(),
             vertex_of: HashMap::new(),
             rng,
@@ -209,6 +287,13 @@ impl Synthesizer {
     #[must_use]
     pub fn graph(&self) -> &PrefGraph<Scenario> {
         &self.graph
+    }
+
+    /// The static-analysis report, when the lint policy ran the analyzer
+    /// (`None` under [`LintPolicy::Off`]).
+    #[must_use]
+    pub fn lint_report(&self) -> Option<&Report> {
+        self.lint_report.as_ref()
     }
 
     /// A solver configuration with δ scaled by `delta_factor` and the box
@@ -270,7 +355,7 @@ impl Synthesizer {
     ) -> (Outcome, bool) {
         let salt = Self::content_salt(site, f, seeds, delta_factor, budget_factor);
         let mut sc = self.scaled_config(salt, delta_factor, budget_factor);
-        let domain = self.qb.domain();
+        let domain = self.domain.clone();
         let (epoch, revision) = (self.sem_epoch, self.graph.revision());
 
         let key = self.cache.as_ref().map(|_| QueryKey {
@@ -722,6 +807,11 @@ impl Synthesizer {
         }
         self.sem_epoch = 0;
         self.qb.take_clause_counters();
+        if self.pretightened_dims > 0 {
+            let dims = self.pretightened_dims;
+            trace::counter("engine.pretighten", || vec![("dims", Value::U64(dims as u64))]);
+            self.tally(&SolverTelemetry { boxes_pretightened: dims, ..SolverTelemetry::default() });
+        }
         let _run_span =
             trace::span_with("engine.run", || vec![("seed", Value::U64(self.cfg.seed))]);
         let run_start = Instant::now();
@@ -901,6 +991,50 @@ mod tests {
         let bad_space = MetricSpace::new(vec![("only_one", Rat::zero(), Rat::one())]);
         let err = Synthesizer::new(swan_sketch(), bad_space, SynthConfig::default()).unwrap_err();
         assert!(matches!(err, SynthError::SpaceMismatch { sketch_params: 2, space_dims: 1 }));
+    }
+
+    #[test]
+    fn lint_deny_rejects_broken_sketch() {
+        // The then-branch divides by a folded constant zero: E001.
+        let broken =
+            Sketch::parse("fn f(x) { if x > 1 then x / (2 - 2) else x + ??h in [0, 5] }").unwrap();
+        let space = MetricSpace::new(vec![("x", Rat::zero(), Rat::from_int(10))]);
+        let err = Synthesizer::new(broken.clone(), space.clone(), fast_cfg(1)).unwrap_err();
+        match err {
+            SynthError::SketchRejected(report) => {
+                assert!(report.has_errors());
+                assert!(report.diagnostics().iter().any(|d| d.code == "E001"));
+                assert!(err_display_mentions_analysis(&SynthError::SketchRejected(report)));
+            }
+            other => panic!("expected SketchRejected, got {other:?}"),
+        }
+        // Warn policy surfaces the findings but still constructs.
+        let mut warn_cfg = fast_cfg(1);
+        warn_cfg.lint = LintPolicy::Warn;
+        let s = Synthesizer::new(broken.clone(), space.clone(), warn_cfg).unwrap();
+        assert!(s.lint_report().expect("warn policy still analyses").has_errors());
+        // Off policy skips analysis entirely.
+        let mut off_cfg = fast_cfg(1);
+        off_cfg.lint = LintPolicy::Off;
+        let s = Synthesizer::new(broken, space, off_cfg).unwrap();
+        assert!(s.lint_report().is_none());
+    }
+
+    fn err_display_mentions_analysis(e: &SynthError) -> bool {
+        e.to_string().contains("static analysis")
+    }
+
+    #[test]
+    fn swan_passes_lint_and_pretightening_is_a_noop() {
+        let synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), fast_cfg(42)).unwrap();
+        let report = synth.lint_report().expect("deny policy analyses");
+        assert!(!report.has_errors(), "{report:?}");
+        assert_eq!(synth.pretightened_dims, 0, "declared ranges are already sharp");
+        // The solver domain is exactly the query builder's: byte-identical
+        // memo keys with pretightening on or off.
+        for (a, b) in synth.domain.intervals().iter().zip(synth.qb.domain().intervals()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod scenario;
 pub mod stats;
 pub mod verify;
 
-pub use config::SynthConfig;
+pub use config::{LintPolicy, SynthConfig};
 pub use engine::{SynthError, SynthOutcome, SynthResult, Synthesizer};
 pub use oracle::{
     FnOracle, GroundTruthOracle, IndifferenceOracle, LoggingOracle, NoisyOracle, Oracle, Ranking,

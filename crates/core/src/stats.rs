@@ -42,6 +42,12 @@ pub struct SolverTelemetry {
     /// Frontier boxes carried from an earlier unsat-like query and
     /// re-verified refuted under a strengthened one (warm-started Unsat).
     pub boxes_carried: usize,
+    /// Solver dimensions whose initial box the static analyzer's inferred
+    /// enclosures strictly tightened before the run. Zero on well-formed
+    /// sketches — the enclosures are supersets of the declared ranges by
+    /// construction, which is what keeps synthesis outcomes byte-identical
+    /// with pretightening on or off.
+    pub boxes_pretightened: usize,
 }
 
 impl SolverTelemetry {
@@ -79,6 +85,7 @@ impl SolverTelemetry {
             cache_hits,
             clauses_reused,
             boxes_carried,
+            boxes_pretightened,
         } = *other;
         self.queries += queries;
         self.boxes_explored += boxes_explored;
@@ -91,13 +98,15 @@ impl SolverTelemetry {
         self.cache_hits += cache_hits;
         self.clauses_reused += clauses_reused;
         self.boxes_carried += boxes_carried;
+        self.boxes_pretightened += boxes_pretightened;
     }
 
     /// Reconstruct an aggregate from a trace event stream — the bridge
     /// that keeps counters and traces from ever disagreeing. Folds the
     /// counter events the engine emits (`solver.query`, `cache.memo_hit`,
-    /// `cache.warm_unsat`, `query.clauses`); phase times travel as whole
-    /// nanoseconds, so the reconstruction is exact, not approximate.
+    /// `cache.warm_unsat`, `query.clauses`, `engine.pretighten`); phase
+    /// times travel as whole nanoseconds, so the reconstruction is exact,
+    /// not approximate.
     #[must_use]
     pub fn from_events(events: &[Event]) -> SolverTelemetry {
         let mut t = SolverTelemetry::default();
@@ -122,6 +131,9 @@ impl SolverTelemetry {
                 }
                 "query.clauses" => {
                     t.clauses_reused += e.field_u64("reused").unwrap_or(0) as usize;
+                }
+                "engine.pretighten" => {
+                    t.boxes_pretightened += e.field_u64("dims").unwrap_or(0) as usize;
                 }
                 _ => {}
             }
@@ -341,6 +353,7 @@ mod tests {
             cache_hits: 9,
             clauses_reused: 10,
             boxes_carried: 11,
+            boxes_pretightened: 12,
         };
         let mut t = a;
         t.merge(&SolverTelemetry { max_workers: 3, ..a });
@@ -358,6 +371,7 @@ mod tests {
                 cache_hits: 18,
                 clauses_reused: 20,
                 boxes_carried: 22,
+                boxes_pretightened: 24,
             }
         );
     }
@@ -395,6 +409,7 @@ mod tests {
             counter("cache.memo_hit", vec![("site", 3)]),
             counter("cache.warm_unsat", vec![("site", 2), ("boxes", 12)]),
             counter("query.clauses", vec![("reused", 30), ("compiled", 5)]),
+            counter("engine.pretighten", vec![("dims", 2)]),
         ];
         let t = SolverTelemetry::from_events(&events);
         let mut expect = SolverTelemetry::default();
@@ -412,6 +427,7 @@ mod tests {
             cache_hits: 2,
             boxes_carried: 12,
             clauses_reused: 30,
+            boxes_pretightened: 2,
             ..SolverTelemetry::default()
         });
         assert_eq!(t, expect);

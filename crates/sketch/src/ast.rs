@@ -9,6 +9,100 @@ use cso_numeric::Rat;
 use std::fmt;
 use std::rc::Rc;
 
+/// A half-open byte range `[start, end)` into the sketch source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Build a span; `start` must not exceed `end`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Span {
+        debug_assert!(start <= end, "inverted span {start}..{end}");
+        Span { start, end }
+    }
+
+    /// The smallest span covering both operands.
+    #[must_use]
+    pub fn join(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// 1-based (line, column) of the span's start within `src`.
+    #[must_use]
+    pub fn line_col(self, src: &str) -> (usize, usize) {
+        let upto = &src[..self.start.min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.rfind('\n').map_or(self.start + 1, |nl| self.start - nl);
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Source spans for a sketch body: a tree isomorphic to the `Expr`/`BExpr`
+/// tree it was parsed from, kept separate so the AST itself stays purely
+/// structural (structural `PartialEq` is used throughout the engine).
+///
+/// Child order is fixed: unary nodes have one child, binary nodes have
+/// `[lhs, rhs]`, and `If` has `[cond, then, else]`. Parenthesised
+/// sub-expressions widen a node's own span without adding a child.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTree {
+    /// Span of this AST node (including any surrounding parentheses).
+    pub span: Span,
+    /// Spans of the node's children, in the fixed order above.
+    pub children: Vec<SpanTree>,
+}
+
+impl SpanTree {
+    /// A leaf node (literal, parameter or hole reference).
+    #[must_use]
+    pub fn leaf(span: Span) -> SpanTree {
+        SpanTree { span, children: Vec::new() }
+    }
+
+    /// An interior node with the given children.
+    #[must_use]
+    pub fn node(span: Span, children: Vec<SpanTree>) -> SpanTree {
+        SpanTree { span, children }
+    }
+
+    /// The i-th child.
+    ///
+    /// # Panics
+    /// Panics when the child does not exist (the tree is isomorphic to the
+    /// AST by construction, so a miss is a walker bug).
+    #[must_use]
+    pub fn child(&self, i: usize) -> &SpanTree {
+        &self.children[i]
+    }
+}
+
+/// All source-location data the parser records alongside a [`crate::Sketch`]:
+/// the original source text plus spans for parameters, hole declarations and
+/// every body AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchSpans {
+    /// The sketch source text the spans index into.
+    pub source: String,
+    /// Span of each parameter name in the signature, in parameter order.
+    pub params: Vec<Span>,
+    /// Span of each hole's first occurrence (`??name` plus any range), in
+    /// hole declaration order.
+    pub holes: Vec<Span>,
+    /// Spans of the body, isomorphic to the body AST.
+    pub body: SpanTree,
+}
+
 /// A declared hole: a named unknown constant the synthesizer must fill.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HoleDecl {

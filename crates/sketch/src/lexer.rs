@@ -104,6 +104,44 @@ impl fmt::Display for Token {
     }
 }
 
+impl Token {
+    /// Length in bytes of the token as it appears in the source. Exact:
+    /// `Ident`/`Number` carry their source text verbatim and every other
+    /// token renders as its fixed spelling.
+    #[must_use]
+    pub fn source_len(&self) -> usize {
+        match self {
+            Token::Ident(s) | Token::Number(s) => s.len(),
+            Token::LParen
+            | Token::RParen
+            | Token::LBrace
+            | Token::RBrace
+            | Token::LBracket
+            | Token::RBracket
+            | Token::Comma
+            | Token::Plus
+            | Token::Minus
+            | Token::Star
+            | Token::Slash
+            | Token::Lt
+            | Token::Gt
+            | Token::Bang => 1,
+            Token::HoleMark
+            | Token::Fn
+            | Token::If
+            | Token::In
+            | Token::Le
+            | Token::Ge
+            | Token::EqEq
+            | Token::Ne
+            | Token::AndAnd
+            | Token::OrOr => 2,
+            Token::Min | Token::Max => 3,
+            Token::Then | Token::Else => 4,
+        }
+    }
+}
+
 /// A token plus its byte offset in the source (for error messages).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
@@ -111,6 +149,14 @@ pub struct Spanned {
     pub token: Token,
     /// Byte offset of the token's first character.
     pub offset: usize,
+}
+
+impl Spanned {
+    /// Byte offset one past the token's last character.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.offset + self.token.source_len()
+    }
 }
 
 /// A lexical error.
@@ -393,5 +439,15 @@ mod tests {
         assert_eq!(spanned[0].offset, 0);
         assert_eq!(spanned[1].offset, 3);
         assert_eq!(spanned[2].offset, 5);
+    }
+
+    #[test]
+    fn source_len_matches_source_text() {
+        let src = "fn objective(x, _y) { \
+                   if x >= ??h in [0, 3.25] || !(x != 1) && x <= 2 == 1 \
+                   then min(x, 2) else max(_y, 1) / 2 - -3 }";
+        for s in lex(src).unwrap() {
+            assert_eq!(&src[s.offset..s.end()], s.token.to_string(), "token {:?}", s.token);
+        }
     }
 }

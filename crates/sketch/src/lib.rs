@@ -49,6 +49,6 @@ pub mod parser;
 pub mod sketch;
 pub mod swan;
 
-pub use ast::{BExpr, Expr, HoleDecl};
+pub use ast::{BExpr, Expr, HoleDecl, SketchSpans, Span, SpanTree};
 pub use parser::ParseError;
-pub use sketch::{CompletedObjective, Sketch};
+pub use sketch::{CompletedObjective, Sketch, SketchError};

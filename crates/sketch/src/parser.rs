@@ -21,7 +21,7 @@
 //! A hole may be declared with a range once and referenced again by `??name`
 //! elsewhere; re-declaring with a *different* range is an error.
 
-use crate::ast::{BExpr, CmpKind, Expr, HoleDecl};
+use crate::ast::{BExpr, CmpKind, Expr, HoleDecl, SketchSpans, Span, SpanTree};
 use crate::lexer::{lex, LexError, Spanned, Token};
 use crate::sketch::Sketch;
 use cso_numeric::Rat;
@@ -59,11 +59,21 @@ struct Parser {
     pos: usize,
     params: Vec<String>,
     holes: Vec<HoleDecl>,
+    param_spans: Vec<Span>,
+    hole_spans: Vec<Span>,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
         self.toks.get(self.pos).map(|s| &s.token)
+    }
+
+    /// Span covering every token consumed since the cursor was at
+    /// `start_tok`. Only valid after at least one token was consumed.
+    fn span_from(&self, start_tok: usize) -> Span {
+        let first = &self.toks[start_tok];
+        let last = &self.toks[self.pos - 1];
+        Span::new(first.offset, last.end())
     }
 
     fn offset(&self) -> Option<usize> {
@@ -129,16 +139,18 @@ impl Parser {
         }
     }
 
-    fn parse_sketch(&mut self) -> Result<(String, Expr), ParseError> {
+    fn parse_sketch(&mut self) -> Result<(String, Expr, SpanTree), ParseError> {
         self.expect(&Token::Fn)?;
         let name = self.expect_ident()?;
         self.expect(&Token::LParen)?;
         loop {
+            let start = self.pos;
             let p = self.expect_ident()?;
             if self.params.contains(&p) {
                 return self.err(format!("duplicate parameter `{p}`"));
             }
             self.params.push(p);
+            self.param_spans.push(self.span_from(start));
             match self.peek() {
                 Some(Token::Comma) => {
                     self.pos += 1;
@@ -148,81 +160,93 @@ impl Parser {
         }
         self.expect(&Token::RParen)?;
         self.expect(&Token::LBrace)?;
-        let body = self.parse_expr()?;
+        let (body, spans) = self.parse_expr()?;
         self.expect(&Token::RBrace)?;
         if self.pos != self.toks.len() {
             return self.err("trailing input after sketch body");
         }
-        Ok((name, body))
+        Ok((name, body, spans))
     }
 
-    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+    fn parse_expr(&mut self) -> Result<(Expr, SpanTree), ParseError> {
         if self.peek() == Some(&Token::If) {
+            let start = self.pos;
             self.pos += 1;
-            let cond = self.parse_bexpr()?;
+            let (cond, csp) = self.parse_bexpr()?;
             self.expect(&Token::Then)?;
-            let then = self.parse_expr()?;
+            let (then, tsp) = self.parse_expr()?;
             self.expect(&Token::Else)?;
-            let els = self.parse_expr()?;
-            return Ok(Expr::If(Rc::new(cond), Rc::new(then), Rc::new(els)));
+            let (els, esp) = self.parse_expr()?;
+            let sp = SpanTree::node(self.span_from(start), vec![csp, tsp, esp]);
+            return Ok((Expr::If(Rc::new(cond), Rc::new(then), Rc::new(els)), sp));
         }
         self.parse_arith()
     }
 
-    fn parse_arith(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_term()?;
+    fn parse_arith(&mut self) -> Result<(Expr, SpanTree), ParseError> {
+        let start = self.pos;
+        let (mut lhs, mut lsp) = self.parse_term()?;
         loop {
-            match self.peek() {
-                Some(Token::Plus) => {
-                    self.pos += 1;
-                    let rhs = self.parse_term()?;
-                    lhs = Expr::Add(Rc::new(lhs), Rc::new(rhs));
-                }
-                Some(Token::Minus) => {
-                    self.pos += 1;
-                    let rhs = self.parse_term()?;
-                    lhs = Expr::Sub(Rc::new(lhs), Rc::new(rhs));
-                }
-                _ => return Ok(lhs),
-            }
-        }
-    }
-
-    fn parse_term(&mut self) -> Result<Expr, ParseError> {
-        let mut lhs = self.parse_factor()?;
-        loop {
-            match self.peek() {
-                Some(Token::Star) => {
-                    self.pos += 1;
-                    let rhs = self.parse_factor()?;
-                    lhs = Expr::Mul(Rc::new(lhs), Rc::new(rhs));
-                }
-                Some(Token::Slash) => {
-                    self.pos += 1;
-                    let rhs = self.parse_factor()?;
-                    lhs = Expr::Div(Rc::new(lhs), Rc::new(rhs));
-                }
-                _ => return Ok(lhs),
-            }
-        }
-    }
-
-    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
-        if self.peek() == Some(&Token::Minus) {
+            let add = match self.peek() {
+                Some(Token::Plus) => true,
+                Some(Token::Minus) => false,
+                _ => return Ok((lhs, lsp)),
+            };
             self.pos += 1;
-            let inner = self.parse_factor()?;
-            return Ok(Expr::Neg(Rc::new(inner)));
+            let (rhs, rsp) = self.parse_term()?;
+            let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
+            lhs = if add {
+                Expr::Add(Rc::new(lhs), Rc::new(rhs))
+            } else {
+                Expr::Sub(Rc::new(lhs), Rc::new(rhs))
+            };
+            lsp = sp;
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<(Expr, SpanTree), ParseError> {
+        let start = self.pos;
+        let (mut lhs, mut lsp) = self.parse_factor()?;
+        loop {
+            let mul = match self.peek() {
+                Some(Token::Star) => true,
+                Some(Token::Slash) => false,
+                _ => return Ok((lhs, lsp)),
+            };
+            self.pos += 1;
+            let (rhs, rsp) = self.parse_factor()?;
+            let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
+            lhs = if mul {
+                Expr::Mul(Rc::new(lhs), Rc::new(rhs))
+            } else {
+                Expr::Div(Rc::new(lhs), Rc::new(rhs))
+            };
+            lsp = sp;
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<(Expr, SpanTree), ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            let start = self.pos;
+            self.pos += 1;
+            let (inner, isp) = self.parse_factor()?;
+            let sp = SpanTree::node(self.span_from(start), vec![isp]);
+            return Ok((Expr::Neg(Rc::new(inner)), sp));
         }
         self.parse_atom()
     }
 
-    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+    fn parse_atom(&mut self) -> Result<(Expr, SpanTree), ParseError> {
+        let start = self.pos;
         match self.peek().cloned() {
-            Some(Token::Number(_)) => Ok(Expr::Num(self.parse_number()?)),
+            Some(Token::Number(_)) => {
+                let n = self.parse_number()?;
+                Ok((Expr::Num(n), SpanTree::leaf(self.span_from(start))))
+            }
             Some(Token::Ident(name)) => {
                 self.pos += 1;
                 match self.params.iter().position(|p| p == &name) {
-                    Some(i) => Ok(Expr::Param(i)),
+                    Some(i) => Ok((Expr::Param(i), SpanTree::leaf(self.span_from(start)))),
                     None => {
                         self.pos -= 1;
                         self.err(format!("unknown identifier `{name}` (not a parameter)"))
@@ -231,25 +255,30 @@ impl Parser {
             }
             Some(Token::HoleMark) => {
                 self.pos += 1;
-                self.parse_hole()
+                let e = self.parse_hole(start)?;
+                Ok((e, SpanTree::leaf(self.span_from(start))))
             }
             Some(Token::LParen) => {
                 self.pos += 1;
-                let e = self.parse_expr()?;
+                let (e, mut sp) = self.parse_expr()?;
                 self.expect(&Token::RParen)?;
-                Ok(e)
+                // Parentheses widen the inner node's span without adding
+                // an AST node (the span tree stays isomorphic to the AST).
+                sp.span = self.span_from(start);
+                Ok((e, sp))
             }
             Some(tok @ (Token::Min | Token::Max)) => {
                 self.pos += 1;
                 self.expect(&Token::LParen)?;
-                let a = self.parse_expr()?;
+                let (a, asp) = self.parse_expr()?;
                 self.expect(&Token::Comma)?;
-                let b = self.parse_expr()?;
+                let (b, bsp) = self.parse_expr()?;
                 self.expect(&Token::RParen)?;
+                let sp = SpanTree::node(self.span_from(start), vec![asp, bsp]);
                 Ok(if tok == Token::Min {
-                    Expr::Min(Rc::new(a), Rc::new(b))
+                    (Expr::Min(Rc::new(a), Rc::new(b)), sp)
                 } else {
-                    Expr::Max(Rc::new(a), Rc::new(b))
+                    (Expr::Max(Rc::new(a), Rc::new(b)), sp)
                 })
             }
             Some(other) => self.err(format!("expected expression, found `{other}`")),
@@ -257,7 +286,9 @@ impl Parser {
         }
     }
 
-    fn parse_hole(&mut self) -> Result<Expr, ParseError> {
+    /// `start` is the token index of the `??` marker, so the recorded
+    /// declaration span covers `??name` plus any `in [lo, hi]` range.
+    fn parse_hole(&mut self, start: usize) -> Result<Expr, ParseError> {
         let name = self.expect_ident()?;
         let bounds = if self.peek() == Some(&Token::In) {
             self.pos += 1;
@@ -284,52 +315,66 @@ impl Parser {
             return Ok(Expr::Hole(i));
         }
         self.holes.push(HoleDecl { name, bounds });
+        self.hole_spans.push(self.span_from(start));
         Ok(Expr::Hole(self.holes.len() - 1))
     }
 
-    fn parse_bexpr(&mut self) -> Result<BExpr, ParseError> {
-        let mut lhs = self.parse_bterm()?;
+    fn parse_bexpr(&mut self) -> Result<(BExpr, SpanTree), ParseError> {
+        let start = self.pos;
+        let (mut lhs, mut lsp) = self.parse_bterm()?;
         while self.peek() == Some(&Token::OrOr) {
             self.pos += 1;
-            let rhs = self.parse_bterm()?;
+            let (rhs, rsp) = self.parse_bterm()?;
+            let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
             lhs = BExpr::Or(Rc::new(lhs), Rc::new(rhs));
+            lsp = sp;
         }
-        Ok(lhs)
+        Ok((lhs, lsp))
     }
 
-    fn parse_bterm(&mut self) -> Result<BExpr, ParseError> {
-        let mut lhs = self.parse_bfact()?;
+    fn parse_bterm(&mut self) -> Result<(BExpr, SpanTree), ParseError> {
+        let start = self.pos;
+        let (mut lhs, mut lsp) = self.parse_bfact()?;
         while self.peek() == Some(&Token::AndAnd) {
             self.pos += 1;
-            let rhs = self.parse_bfact()?;
+            let (rhs, rsp) = self.parse_bfact()?;
+            let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
             lhs = BExpr::And(Rc::new(lhs), Rc::new(rhs));
+            lsp = sp;
         }
-        Ok(lhs)
+        Ok((lhs, lsp))
     }
 
-    fn parse_bfact(&mut self) -> Result<BExpr, ParseError> {
+    fn parse_bfact(&mut self) -> Result<(BExpr, SpanTree), ParseError> {
+        let start = self.pos;
         if self.peek() == Some(&Token::Bang) {
             self.pos += 1;
-            let inner = self.parse_bfact()?;
-            return Ok(BExpr::Not(Rc::new(inner)));
+            let (inner, isp) = self.parse_bfact()?;
+            let sp = SpanTree::node(self.span_from(start), vec![isp]);
+            return Ok((BExpr::Not(Rc::new(inner)), sp));
         }
         // Disambiguate `(`: it may open a boolean group or a numeric
         // sub-expression of a comparison. Try boolean group first with
-        // backtracking.
+        // backtracking. Hole declarations (and their spans) made inside a
+        // failed attempt are rolled back; span trees are built functionally
+        // so discarding the attempt's return value discards its spans.
         if self.peek() == Some(&Token::LParen) {
             let save = self.pos;
             self.pos += 1;
             let saved_holes = self.holes.clone();
-            if let Ok(b) = self.parse_bexpr() {
+            let saved_hole_spans = self.hole_spans.clone();
+            if let Ok((b, mut sp)) = self.parse_bexpr() {
                 if self.peek() == Some(&Token::RParen) {
                     self.pos += 1;
-                    return Ok(b);
+                    sp.span = self.span_from(start);
+                    return Ok((b, sp));
                 }
             }
             self.pos = save;
             self.holes = saved_holes;
+            self.hole_spans = saved_hole_spans;
         }
-        let lhs = self.parse_arith()?;
+        let (lhs, lsp) = self.parse_arith()?;
         let op = match self.peek() {
             Some(Token::Lt) => CmpKind::Lt,
             Some(Token::Le) => CmpKind::Le,
@@ -340,8 +385,9 @@ impl Parser {
             _ => return self.err("expected comparison operator in condition"),
         };
         self.pos += 1;
-        let rhs = self.parse_arith()?;
-        Ok(BExpr::Cmp(op, Rc::new(lhs), Rc::new(rhs)))
+        let (rhs, rsp) = self.parse_arith()?;
+        let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
+        Ok((BExpr::Cmp(op, Rc::new(lhs), Rc::new(rhs)), sp))
     }
 }
 
@@ -352,9 +398,22 @@ impl Parser {
 /// carries a byte offset where available.
 pub fn parse_sketch(src: &str) -> Result<Sketch, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, params: Vec::new(), holes: Vec::new() };
-    let (name, body) = p.parse_sketch()?;
-    Ok(Sketch::from_parts(name, p.params, p.holes, body))
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: Vec::new(),
+        holes: Vec::new(),
+        param_spans: Vec::new(),
+        hole_spans: Vec::new(),
+    };
+    let (name, body, body_spans) = p.parse_sketch()?;
+    let spans = SketchSpans {
+        source: src.to_owned(),
+        params: p.param_spans,
+        holes: p.hole_spans,
+        body: body_spans,
+    };
+    Ok(Sketch::from_parts(name, p.params, p.holes, body, spans))
 }
 
 #[cfg(test)]
@@ -464,6 +523,48 @@ mod tests {
         assert!(parse_sketch("fn f(x) { x } trailing").is_err(), "trailing");
         assert!(parse_sketch("fn f(x) { if x then 1 else 0 }").is_err(), "non-bool cond");
         assert!(parse_sketch("f(x) { x }").is_err(), "missing fn");
+    }
+
+    #[test]
+    fn spans_cover_source_text() {
+        let src = "fn f(x, y) { if x >= ??h in [0, 10] then (x + y) * 2 else y / 3 }";
+        let s = parse(src);
+        assert_eq!(s.source(), src);
+        // Parameter spans slice back to the parameter names.
+        let pspans = &s.spans().params;
+        assert_eq!(&src[pspans[0].start..pspans[0].end], "x");
+        assert_eq!(&src[pspans[1].start..pspans[1].end], "y");
+        // The hole declaration span covers the marker, name and range.
+        let h = s.spans().holes[0];
+        assert_eq!(&src[h.start..h.end], "??h in [0, 10]");
+        // The body span tree is isomorphic to the AST: If has
+        // [cond, then, else]; parens widen the `then` node's span.
+        let body = &s.spans().body;
+        assert_eq!(body.children.len(), 3);
+        let cond = body.child(0);
+        assert_eq!(&src[cond.span.start..cond.span.end], "x >= ??h in [0, 10]");
+        let then = body.child(1);
+        assert_eq!(&src[then.span.start..then.span.end], "(x + y) * 2");
+        assert_eq!(&src[then.child(0).span.start..then.child(0).span.end], "(x + y)");
+        let els = body.child(2);
+        assert_eq!(&src[els.span.start..els.span.end], "y / 3");
+        // Line/column rendering: the whole body starts on line 1.
+        assert_eq!(body.span.line_col(src).0, 1);
+    }
+
+    #[test]
+    fn span_tree_survives_bool_backtracking() {
+        // The `(` in the condition is first tried as a boolean group (which
+        // fails at `+`), then reparsed as arithmetic; hole spans recorded
+        // during the failed attempt must be rolled back.
+        let src = "fn f(x) { if (??a in [0, 1] + x) > 1 then 1 else 0 }";
+        let s = parse(src);
+        assert_eq!(s.holes().len(), 1);
+        assert_eq!(s.spans().holes.len(), 1);
+        let h = s.spans().holes[0];
+        assert_eq!(&src[h.start..h.end], "??a in [0, 1]");
+        let cond = s.spans().body.child(0);
+        assert_eq!(&src[cond.span.start..cond.span.end], "(??a in [0, 1] + x) > 1");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The public sketch API: evaluation, completion and lowering.
 
-use crate::ast::{BExpr, CmpKind, Expr, HoleDecl};
+use crate::ast::{BExpr, CmpKind, Expr, HoleDecl, SketchSpans, Span, SpanTree};
 use crate::parser::{parse_sketch, ParseError};
 use cso_logic::{CmpOp, Formula, Term};
 use cso_numeric::Rat;
@@ -31,7 +31,11 @@ pub enum SketchError {
         name: String,
     },
     /// Division by zero during evaluation.
-    DivByZero,
+    DivByZero {
+        /// Source span of the offending division, when it could be located
+        /// (the `a / b` expression whose divisor evaluated to zero).
+        span: Option<Span>,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -46,7 +50,10 @@ impl fmt::Display for SketchError {
             SketchError::HoleOutOfRange { name } => {
                 write!(f, "value for hole `{name}` is outside its declared range")
             }
-            SketchError::DivByZero => write!(f, "division by zero"),
+            SketchError::DivByZero { span: Some(sp) } => {
+                write!(f, "division by zero at source bytes {sp}")
+            }
+            SketchError::DivByZero { span: None } => write!(f, "division by zero"),
         }
     }
 }
@@ -60,6 +67,7 @@ pub struct Sketch {
     params: Vec<String>,
     holes: Vec<HoleDecl>,
     body: Expr,
+    spans: SketchSpans,
 }
 
 impl Sketch {
@@ -76,8 +84,9 @@ impl Sketch {
         params: Vec<String>,
         holes: Vec<HoleDecl>,
         body: Expr,
+        spans: SketchSpans,
     ) -> Sketch {
-        Sketch { name, params, holes, body }
+        Sketch { name, params, holes, body, spans }
     }
 
     /// The sketch's function name.
@@ -104,6 +113,18 @@ impl Sketch {
         &self.body
     }
 
+    /// The source text this sketch was parsed from.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.spans.source
+    }
+
+    /// Source spans for parameters, hole declarations and the body AST.
+    #[must_use]
+    pub fn spans(&self) -> &SketchSpans {
+        &self.spans
+    }
+
     /// Evaluate with explicit hole values and arguments.
     ///
     /// # Errors
@@ -121,7 +142,15 @@ impl Sketch {
                 got: hole_values.len(),
             });
         }
-        eval_expr(&self.body, hole_values, args)
+        match eval_expr(&self.body, hole_values, args) {
+            // The hot path carries no spans; on the (rare) error path,
+            // re-walk the body in evaluation order to name the offending
+            // division in the source.
+            Err(SketchError::DivByZero { .. }) => Err(SketchError::DivByZero {
+                span: locate_div_by_zero(&self.body, &self.spans.body, hole_values, args),
+            }),
+            other => other,
+        }
     }
 
     /// Freeze hole values into a concrete objective function, validating
@@ -260,7 +289,7 @@ fn eval_expr(e: &Expr, holes: &[Rat], args: &[Rat]) -> Result<Rat, SketchError> 
         Expr::Div(a, b) => {
             let d = eval_expr(b, holes, args)?;
             if d.is_zero() {
-                return Err(SketchError::DivByZero);
+                return Err(SketchError::DivByZero { span: None });
             }
             Ok(eval_expr(a, holes, args)? / d)
         }
@@ -273,6 +302,57 @@ fn eval_expr(e: &Expr, holes: &[Rat], args: &[Rat]) -> Result<Rat, SketchError> 
                 eval_expr(b, holes, args)
             }
         }
+    }
+}
+
+/// Find the source span of the first division-by-zero hit in evaluation
+/// order, walking the body and its span tree in lockstep. Only called on
+/// the error path, so the double evaluation is free in the common case.
+fn locate_div_by_zero(e: &Expr, sp: &SpanTree, holes: &[Rat], args: &[Rat]) -> Option<Span> {
+    match e {
+        Expr::Num(_) | Expr::Param(_) | Expr::Hole(_) => None,
+        Expr::Neg(a) => locate_div_by_zero(a, sp.child(0), holes, args),
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
+            locate_div_by_zero(a, sp.child(0), holes, args)
+                .or_else(|| locate_div_by_zero(b, sp.child(1), holes, args))
+        }
+        Expr::Div(a, b) => {
+            // eval_expr evaluates the divisor first: a failure nested in
+            // the divisor wins, then this division itself, then the
+            // dividend.
+            if let Some(s) = locate_div_by_zero(b, sp.child(1), holes, args) {
+                return Some(s);
+            }
+            match eval_expr(b, holes, args) {
+                Ok(d) if d.is_zero() => Some(sp.span),
+                _ => locate_div_by_zero(a, sp.child(0), holes, args),
+            }
+        }
+        Expr::If(c, a, b) => match eval_bexpr(c, holes, args) {
+            Err(_) => locate_div_by_zero_b(c, sp.child(0), holes, args),
+            Ok(true) => locate_div_by_zero(a, sp.child(1), holes, args),
+            Ok(false) => locate_div_by_zero(b, sp.child(2), holes, args),
+        },
+    }
+}
+
+/// Boolean-side companion of [`locate_div_by_zero`], honouring the
+/// short-circuit order of `eval_bexpr`.
+fn locate_div_by_zero_b(e: &BExpr, sp: &SpanTree, holes: &[Rat], args: &[Rat]) -> Option<Span> {
+    match e {
+        BExpr::Cmp(_, a, b) => locate_div_by_zero(a, sp.child(0), holes, args)
+            .or_else(|| locate_div_by_zero(b, sp.child(1), holes, args)),
+        BExpr::And(a, b) => match eval_bexpr(a, holes, args) {
+            Err(_) => locate_div_by_zero_b(a, sp.child(0), holes, args),
+            Ok(true) => locate_div_by_zero_b(b, sp.child(1), holes, args),
+            Ok(false) => None,
+        },
+        BExpr::Or(a, b) => match eval_bexpr(a, holes, args) {
+            Err(_) => locate_div_by_zero_b(a, sp.child(0), holes, args),
+            Ok(false) => locate_div_by_zero_b(b, sp.child(1), holes, args),
+            Ok(true) => None,
+        },
+        BExpr::Not(a) => locate_div_by_zero_b(a, sp.child(0), holes, args),
     }
 }
 
@@ -413,9 +493,38 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_reported() {
-        let s = Sketch::parse("fn f(x) { 1 / x }").unwrap();
-        assert_eq!(s.eval(&[], &[r(0)]), Err(SketchError::DivByZero));
+        let src = "fn f(x) { 1 / x }";
+        let s = Sketch::parse(src).unwrap();
+        match s.eval(&[], &[r(0)]) {
+            Err(SketchError::DivByZero { span: Some(sp) }) => {
+                assert_eq!(&src[sp.start..sp.end], "1 / x");
+            }
+            other => panic!("expected a located DivByZero, got {other:?}"),
+        }
         assert_eq!(s.eval(&[], &[r(4)]).unwrap(), Rat::from_frac(1, 4));
+    }
+
+    #[test]
+    fn division_by_zero_names_the_inner_site() {
+        // Two divisions: the error message must point at the one that
+        // actually trips (the inner `x / (x - 1)` at x = 1, inside the
+        // guard, which is evaluated before either branch).
+        let src = "fn f(x) { if x / (x - 1) > 0 then 1 / (x - 2) else 0 }";
+        let s = Sketch::parse(src).unwrap();
+        match s.eval(&[], &[r(1)]) {
+            Err(SketchError::DivByZero { span: Some(sp) }) => {
+                assert_eq!(&src[sp.start..sp.end], "x / (x - 1)");
+            }
+            other => panic!("expected the guard division, got {other:?}"),
+        }
+        match s.eval(&[], &[r(2)]) {
+            Err(SketchError::DivByZero { span: Some(sp) }) => {
+                assert_eq!(&src[sp.start..sp.end], "1 / (x - 2)");
+            }
+            other => panic!("expected the then-branch division, got {other:?}"),
+        }
+        // x = 3: guard is 3/2 > 0, then-branch is 1/1 — no error.
+        assert_eq!(s.eval(&[], &[r(3)]).unwrap(), r(1));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 
 pub use cso_abr as abr;
+pub use cso_analysis as analysis;
 pub use cso_logic as logic;
 pub use cso_lp as lp;
 pub use cso_netsim as netsim;
