@@ -100,6 +100,28 @@ grep -q "engine.iteration" "$GOLD/digest.txt"
 grep -q "solver.bnp" "$GOLD/digest.txt"
 rm -rf "$GOLD"
 
+# Steppable-engine golden: driving every repro run through the public
+# step/answer Session API (CSO_REPRO_DRIVER=session) must reproduce the
+# legacy Synthesizer::run campaign byte for byte.
+echo "==> table1.csv golden diff (session driver vs run)"
+GOLD=$(mktemp -d)
+cargo run -q --release --offline -p cso-bench --bin repro -- table1 --csv "$GOLD/run" >/dev/null
+CSO_REPRO_DRIVER=session cargo run -q --release --offline -p cso-bench --bin repro -- \
+    table1 --csv "$GOLD/stepped" >/dev/null
+diff "$GOLD/run/table1.csv" "$GOLD/stepped/table1.csv"
+rm -rf "$GOLD"
+
+# Service smoke: a 64-session fleet with snapshot eviction enabled must
+# drive every session to Done and emit a parseable BENCH_serve.json.
+echo "==> cso-serve fleet smoke (64 sessions, eviction on)"
+SERVE=$(mktemp -d)
+CSO_SERVE_SNAPDIR="$SERVE/snaps" cargo run -q --release --offline -p cso-serve -- \
+    --bench --sessions 64 --out "$SERVE/BENCH_serve.json"
+grep -q '"completed": 64' "$SERVE/BENCH_serve.json"
+grep -q '"failed": 0' "$SERVE/BENCH_serve.json"
+grep -q '"step_p99_ms"' "$SERVE/BENCH_serve.json"
+rm -rf "$SERVE"
+
 # Bench smoke: the synth_loop group (cold vs warm synthesis, the
 # BENCH_synth.json baseline) must run end to end and emit parseable rows
 # with positive medians.

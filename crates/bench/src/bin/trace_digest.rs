@@ -1,8 +1,14 @@
 //! Fold a JSONL trace (`CSO_TRACE=jsonl:<path>`) into a per-run profile.
 //!
 //! ```text
-//! trace-digest <trace.jsonl>
+//! trace-digest <trace.jsonl> [--session <id>]
 //! ```
+//!
+//! `--session <id>` restricts every section to events stamped with that
+//! session id (multi-session services demux one shared stream; see
+//! `cso-serve`). Without it, a stream containing session-stamped events
+//! additionally gets a **sessions** section: per-session event counts and
+//! span time, so one slow tenant stands out at a glance.
 //!
 //! Prints four sections:
 //!
@@ -34,15 +40,32 @@ struct PhaseAgg {
     max_ns: u64,
 }
 
+fn usage() -> ! {
+    eprintln!("usage: trace-digest <trace.jsonl> [--session <id>]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let path = match (args.next(), args.next()) {
-        (Some(p), None) if p != "--help" && p != "-h" => p,
-        _ => {
-            eprintln!("usage: trace-digest <trace.jsonl>");
-            std::process::exit(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut session: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => usage(),
+            "--session" => {
+                i += 1;
+                session = args.get(i).and_then(|v| v.parse().ok());
+                if session.is_none() {
+                    usage();
+                }
+            }
+            p if path.is_none() => path = Some(p.to_owned()),
+            _ => usage(),
         }
-    };
+        i += 1;
+    }
+    let Some(path) = path else { usage() };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -73,9 +96,38 @@ fn main() {
     }
 
     println!("trace: {path} — {} events, {} parse errors", events.len(), parse_errors);
+    // Well-formedness is a whole-stream property (per-thread span balance);
+    // check before any session filtering.
     match check_well_formed(&events) {
         Ok(()) => println!("stream: well-formed (spans balanced, clocks monotone)"),
         Err(e) => println!("stream: MALFORMED — {e}"),
+    }
+
+    // -- sessions: per-tenant activity summary -----------------------------
+    let mut sessions: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for e in &events {
+        if let Some(sid) = e.session {
+            let slot = sessions.entry(sid).or_insert((0, 0));
+            slot.0 += 1;
+            if e.kind == Kind::SpanEnd {
+                slot.1 += e.dur_ns.unwrap_or(0);
+            }
+        }
+    }
+    if let Some(sid) = session {
+        let had = events.len();
+        events.retain(|e| e.session == Some(sid));
+        println!("session filter: {sid} — {} of {had} events", events.len());
+        if events.is_empty() {
+            eprintln!("trace-digest: no events for session {sid}");
+            std::process::exit(1);
+        }
+    } else if !sessions.is_empty() {
+        println!("\nsessions:");
+        println!("  {:<12} {:>8} {:>12}", "session", "events", "span_s");
+        for (sid, (n, span_ns)) in &sessions {
+            println!("  {:<12} {:>8} {:>12.4}", sid, n, secs(*span_ns));
+        }
     }
 
     // -- phases: aggregate span-end durations by name ----------------------

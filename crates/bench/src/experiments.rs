@@ -5,8 +5,34 @@ use cso_sketch::swan::{swan_sketch, swan_target_with};
 use cso_synth::verify::preference_agreement;
 use cso_synth::{
     GroundTruthOracle, IndifferenceOracle, MetricSpace, NoisyOracle, Oracle, RunSummary,
-    SynthConfig, SynthOutcome, Synthesizer,
+    StepResult, SynthConfig, SynthError, SynthOutcome, SynthResult, Synthesizer,
 };
+
+/// Run `synth` against `oracle` to completion.
+///
+/// With `CSO_REPRO_DRIVER=session` the loop is driven through the public
+/// step/answer session machinery instead of the in-process
+/// [`Synthesizer::run`] driver. Synthesis outcomes are byte-identical
+/// either way (CI golden-diffs `table1.csv` across both drivers); the
+/// session path ranks while the engine is parked, so the non-deterministic
+/// `oracle_secs` telemetry column reads 0 there — park time is excluded
+/// from synthesis time by design.
+fn drive(synth: &mut Synthesizer, oracle: &mut dyn Oracle) -> Result<SynthResult, SynthError> {
+    let by_session = std::env::var("CSO_REPRO_DRIVER").is_ok_and(|v| v == "session");
+    if !by_session {
+        return synth.run(oracle);
+    }
+    loop {
+        match synth.step() {
+            StepResult::NeedsRanking { scenarios, .. } => {
+                let ranking = oracle.rank(&scenarios);
+                synth.answer(&ranking)?;
+            }
+            StepResult::Done(r) => return Ok(*r),
+            StepResult::Rejected(e) => return Err(e),
+        }
+    }
+}
 
 /// How heavy an experiment campaign to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +129,7 @@ fn one_run(target: (i64, i64, i64, i64), cfg_template: &SynthConfig, seed: u64) 
     let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg)
         .expect("SWAN sketch matches its metric space");
     let mut oracle = GroundTruthOracle::new(target_obj.clone());
-    let result = synth.run(&mut oracle).expect("ground-truth oracle is consistent");
+    let result = drive(&mut synth, &mut oracle).expect("ground-truth oracle is consistent");
     let agreement = preference_agreement(
         &result.objective,
         &target_obj,
@@ -342,7 +368,7 @@ pub fn ablation(profile: ExperimentProfile) -> Vec<AblationRow> {
             let mut synth =
                 Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg).expect("valid setup");
             let mut oracle = GroundTruthOracle::new(target.clone());
-            if let Ok(r) = synth.run(&mut oracle) {
+            if let Ok(r) = drive(&mut synth, &mut oracle) {
                 completed += 1;
                 iters.push(r.stats.iterations() as f64);
                 totals.push(r.stats.total_secs());
@@ -378,7 +404,7 @@ pub fn ablation(profile: ExperimentProfile) -> Vec<AblationRow> {
             let mut synth =
                 Synthesizer::new(swan_sketch(), MetricSpace::swan(), c).expect("valid setup");
             let mut oracle = IndifferenceOracle::new(target.clone(), Rat::from_int(10));
-            if let Ok(r) = synth.run(&mut oracle) {
+            if let Ok(r) = drive(&mut synth, &mut oracle) {
                 completed += 1;
                 iters.push(r.stats.iterations() as f64);
                 totals.push(r.stats.total_secs());
@@ -419,7 +445,7 @@ pub fn ablation(profile: ExperimentProfile) -> Vec<AblationRow> {
                 Synthesizer::new(swan_sketch(), MetricSpace::swan(), c).expect("valid setup");
             let mut oracle =
                 NoisyOracle::new(GroundTruthOracle::new(target.clone()), 0.1, 77 + i as u64);
-            if let Ok(r) = synth.run(&mut oracle) {
+            if let Ok(r) = drive(&mut synth, &mut oracle) {
                 completed += 1;
                 iters.push(r.stats.iterations() as f64);
                 totals.push(r.stats.total_secs());
@@ -459,7 +485,7 @@ pub fn run_with_oracle<O: Oracle>(
     oracle: &mut O,
 ) -> Result<cso_synth::SynthResult, cso_synth::SynthError> {
     let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg)?;
-    synth.run(oracle)
+    drive(&mut synth, oracle)
 }
 
 #[cfg(test)]

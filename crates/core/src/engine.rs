@@ -67,6 +67,9 @@ pub enum SynthError {
     /// lint policy is [`LintPolicy::Deny`]. Carries the full report so
     /// callers can render the findings (spans, codes, messages).
     SketchRejected(Report),
+    /// [`Synthesizer::answer`] was called while no ranking query was
+    /// pending (the engine was not parked in a `NeedsRanking` state).
+    NoPendingQuery,
 }
 
 impl fmt::Display for SynthError {
@@ -85,11 +88,101 @@ impl fmt::Display for SynthError {
             SynthError::SketchRejected(report) => {
                 write!(f, "sketch rejected by static analysis: {}", report.summary())
             }
+            SynthError::NoPendingQuery => {
+                write!(f, "answer() called while no ranking query is pending")
+            }
         }
     }
 }
 
 impl std::error::Error for SynthError {}
+
+/// What one call to [`Synthesizer::step`] produced.
+///
+/// The engine runs until it either needs an oracle answer (park the
+/// session, ship the query to the architect, resume with
+/// [`Synthesizer::answer`]) or terminates. Terminal states are sticky:
+/// further `step` calls replay the same result.
+#[derive(Debug, Clone)]
+pub enum StepResult {
+    /// The engine needs the oracle to rank `scenarios` before it can make
+    /// progress. `iteration` is 0 for the initial ranking, otherwise the
+    /// 1-based iteration the pair belongs to. `session_id` is 0 at the
+    /// engine layer; [`crate::session::Session`] stamps its own id.
+    NeedsRanking {
+        /// The scenarios to rank (the initial batch, or a pair).
+        scenarios: Vec<Scenario>,
+        /// Owning session id (0 when driven directly on a `Synthesizer`).
+        session_id: u64,
+        /// Iteration the query belongs to (0 = initial ranking).
+        iteration: usize,
+    },
+    /// The run finished; boxed because the result (objective + full stats)
+    /// dwarfs the other variants.
+    Done(Box<SynthResult>),
+    /// The run failed. Sticky: the session cannot be resumed.
+    Rejected(SynthError),
+}
+
+/// Where the steppable engine is parked between [`Synthesizer::step`]
+/// calls. The variants mirror the suspension points of the original
+/// synchronous loop: before the initial ranking is answered, between
+/// iterations, and inside an iteration's pair-ranking phase.
+#[derive(Debug, Clone)]
+pub(crate) enum EngineState {
+    /// Fresh engine (or `run` restart): nothing has happened yet.
+    Idle,
+    /// Initial scenarios sampled; waiting for the oracle's ranking.
+    AwaitInitial {
+        /// The sampled initial scenarios.
+        scenarios: Vec<Scenario>,
+    },
+    /// Ready to start the next iteration.
+    BetweenIters,
+    /// An iteration produced distinguishing pairs; waiting for rankings.
+    AwaitPair {
+        /// All pairs produced by the iteration.
+        pairs: Vec<(Scenario, Scenario)>,
+        /// Index of the pair whose ranking is pending.
+        next: usize,
+        /// The iteration's synthesis (solver) time, measured before parking.
+        synthesis_time: std::time::Duration,
+        /// Whether any pair search satisfied from seeding.
+        sat_from_seeding: bool,
+        /// Scenarios asked so far in this iteration.
+        asked: usize,
+    },
+    /// Loop ended; the final objective still has to be resolved.
+    Finishing {
+        /// Why the loop stopped.
+        outcome: SynthOutcome,
+    },
+    /// Terminal success.
+    Done {
+        /// The finished result, replayed by further `step` calls.
+        result: SynthResult,
+    },
+    /// Terminal failure.
+    Failed {
+        /// The error, replayed by further `step` calls.
+        error: SynthError,
+    },
+}
+
+/// Loop-carried state of the iteration driver, split from [`EngineState`]
+/// because it survives across parks within a run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LoopCtx {
+    /// Iterations started so far (the current iteration number once one
+    /// is underway; `max_iterations` ends the run).
+    pub(crate) iter: usize,
+    /// Feasibility seeds for the next candidate search.
+    pub(crate) feas_seeds: Vec<Model>,
+    /// Consecutive iterations whose pair search exhausted its budget.
+    pub(crate) exhausted_streak: usize,
+    /// Best candidate so far (the result objective once the loop ends).
+    pub(crate) candidate: Option<CompletedObjective>,
+}
 
 /// Cap on the candidate seed pool.
 const POOL_CAP: usize = 4;
@@ -103,7 +196,7 @@ const SITE_PROOF: u64 = 4;
 /// Kill-switch: `CSO_SYNTH_CACHE=off` (or `=0`) forces the cold path for
 /// the whole process regardless of [`SynthConfig::incremental`] — one
 /// environment variable flips an entire test-suite or CI pass.
-fn cache_env_off() -> bool {
+pub(crate) fn cache_env_off() -> bool {
     static OFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *OFF.get_or_init(|| {
         matches!(std::env::var("CSO_SYNTH_CACHE").ok().as_deref(), Some("off" | "0"))
@@ -143,10 +236,13 @@ enum PairSearch {
 }
 
 /// The comparative synthesizer.
+///
+/// Internals are `pub(crate)` where the sibling snapshot module
+/// serializes them; the public API is unchanged.
 #[derive(Debug)]
 pub struct Synthesizer {
-    sketch: Sketch,
-    cfg: SynthConfig,
+    pub(crate) sketch: Sketch,
+    pub(crate) cfg: SynthConfig,
     qb: QueryBuilder,
     /// Solver domain every query runs over: the query builder's box,
     /// intersected with the analyzer's inferred hole enclosures when
@@ -158,19 +254,23 @@ pub struct Synthesizer {
     pretightened_dims: usize,
     /// Static-analysis report, when the lint policy ran the analyzer.
     lint_report: Option<Report>,
-    graph: PrefGraph<Scenario>,
-    vertex_of: HashMap<Scenario, ScenarioId>,
-    rng: Rng,
-    space: MetricSpace,
+    pub(crate) graph: PrefGraph<Scenario>,
+    pub(crate) vertex_of: HashMap<Scenario, ScenarioId>,
+    pub(crate) rng: Rng,
+    pub(crate) space: MetricSpace,
     /// Pool of hole assignments that satisfied some recent feasibility
     /// query; used to seed later searches (most recent first, bounded).
-    pool: Vec<Vec<cso_numeric::Rat>>,
+    pub(crate) pool: Vec<Vec<cso_numeric::Rat>>,
     /// Solver telemetry accumulated since the current iteration started
     /// (drained into each [`IterationRecord`]).
-    iter_solver: SolverTelemetry,
+    pub(crate) iter_solver: SolverTelemetry,
     /// Cross-query solver cache (memoization + warm-start frontiers);
     /// `None` when incremental mode is off.
-    cache: Option<SolverCache>,
+    pub(crate) cache: Option<SolverCache>,
+    /// Where the steppable engine is parked (see [`EngineState`]).
+    pub(crate) state: EngineState,
+    /// Loop-carried iteration state (see [`LoopCtx`]).
+    pub(crate) ctx: LoopCtx,
     /// Semantic epoch of the preference graph: bumped whenever a graph
     /// mutation may have *weakened* the feasibility formula (an edge
     /// removal not entailed by the remaining closure, or an indifference
@@ -178,7 +278,7 @@ pub struct Synthesizer {
     /// Warm-start frontiers recorded under an older semantic epoch are
     /// invalid; pure strengthenings (strict edges, entailed removals)
     /// deliberately leave it untouched.
-    sem_epoch: u64,
+    pub(crate) sem_epoch: u64,
     /// Statistics of the current/last run.
     pub stats: SynthStats,
 }
@@ -261,6 +361,8 @@ impl Synthesizer {
             pool: Vec::new(),
             iter_solver: SolverTelemetry::default(),
             cache: incremental.then(SolverCache::new),
+            state: EngineState::Idle,
+            ctx: LoopCtx::default(),
             sem_epoch: 0,
             stats: SynthStats::default(),
         })
@@ -795,11 +897,168 @@ impl Synthesizer {
         }
     }
 
-    /// Run the interactive loop against `oracle`.
+    /// Run the interactive loop against `oracle`: a thin driver over
+    /// [`Synthesizer::step`] / [`Synthesizer::answer`] that answers every
+    /// `NeedsRanking` park in-process. The oracle call is timed into
+    /// [`SynthStats::oracle_time`]; synthesis time accumulates only inside
+    /// `step`/`answer`, so the two never mix.
     ///
     /// # Errors
     /// See [`SynthError`].
     pub fn run(&mut self, oracle: &mut dyn Oracle) -> Result<SynthResult, SynthError> {
+        // Restart from scratch even if a previous run finished.
+        self.state = EngineState::Idle;
+        self.ctx = LoopCtx::default();
+        let _run_span =
+            trace::span_with("engine.run", || vec![("seed", Value::U64(self.cfg.seed))]);
+        loop {
+            match self.step() {
+                StepResult::NeedsRanking { scenarios, .. } => {
+                    let ranking = self.ask_oracle(oracle, &scenarios);
+                    self.answer(&ranking)?;
+                }
+                StepResult::Done(result) => return Ok(*result),
+                StepResult::Rejected(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Advance the engine until it needs an oracle answer or terminates.
+    ///
+    /// Calling `step` again while parked in `NeedsRanking` re-returns the
+    /// same query without doing work; terminal results replay likewise.
+    /// All time spent inside `step` counts toward
+    /// [`SynthStats::total_time`] — wall-clock time the session spends
+    /// parked between `step` and [`Synthesizer::answer`] does not.
+    pub fn step(&mut self) -> StepResult {
+        if matches!(self.state, EngineState::Done { .. } | EngineState::Failed { .. }) {
+            return self.step_inner(&mut None);
+        }
+        let mut t0 = Some(Instant::now());
+        let out = self.step_inner(&mut t0);
+        if let Some(t) = t0 {
+            self.stats.total_time += t.elapsed();
+        }
+        out
+    }
+
+    /// Feed the oracle's `ranking` for the pending query back in. Time
+    /// spent recording counts toward [`SynthStats::total_time`].
+    ///
+    /// # Errors
+    /// [`SynthError::NoPendingQuery`] when no query is pending;
+    /// [`SynthError::InvalidRanking`] / other recording errors exactly as
+    /// the synchronous loop reported them. Errors are sticky — the
+    /// session moves to its failed state.
+    pub fn answer(&mut self, ranking: &Ranking) -> Result<(), SynthError> {
+        let t0 = Instant::now();
+        let out = self.answer_inner(ranking);
+        self.stats.total_time += t0.elapsed();
+        if let Err(e) = &out {
+            self.state = EngineState::Failed { error: e.clone() };
+        }
+        out
+    }
+
+    /// `true` once the engine has reached a terminal state (a result or a
+    /// sticky error); further steps replay it.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state, EngineState::Done { .. } | EngineState::Failed { .. })
+    }
+
+    /// The step state machine. `t0` is the step's start instant; the
+    /// `Finishing` arm consumes it so the final result's `total_time`
+    /// includes the closing iteration's work (mirroring where the
+    /// synchronous loop stamped the total — before resolving the final
+    /// objective).
+    fn step_inner(&mut self, t0: &mut Option<Instant>) -> StepResult {
+        loop {
+            let state = std::mem::replace(&mut self.state, EngineState::Idle);
+            match state {
+                EngineState::Idle => {
+                    self.begin_run();
+                    if self.cfg.initial_scenarios > 0 {
+                        let scenarios = self.sample_initial();
+                        let out = StepResult::NeedsRanking {
+                            scenarios: scenarios.clone(),
+                            session_id: 0,
+                            iteration: 0,
+                        };
+                        self.state = EngineState::AwaitInitial { scenarios };
+                        return out;
+                    }
+                    self.state = EngineState::BetweenIters;
+                }
+                EngineState::AwaitInitial { scenarios } => {
+                    let out = StepResult::NeedsRanking {
+                        scenarios: scenarios.clone(),
+                        session_id: 0,
+                        iteration: 0,
+                    };
+                    self.state = EngineState::AwaitInitial { scenarios };
+                    return out;
+                }
+                EngineState::BetweenIters => {
+                    self.state = EngineState::BetweenIters;
+                    if let Err(e) = self.advance_iteration() {
+                        self.state = EngineState::Failed { error: e.clone() };
+                        return StepResult::Rejected(e);
+                    }
+                    // advance_iteration left the next state behind: another
+                    // BetweenIters (dry iteration), AwaitPair, or Finishing.
+                }
+                EngineState::AwaitPair { pairs, next, synthesis_time, sat_from_seeding, asked } => {
+                    let (s1, s2) = pairs[next].clone();
+                    let iteration = self.ctx.iter;
+                    self.state = EngineState::AwaitPair {
+                        pairs,
+                        next,
+                        synthesis_time,
+                        sat_from_seeding,
+                        asked,
+                    };
+                    return StepResult::NeedsRanking {
+                        scenarios: vec![s1, s2],
+                        session_id: 0,
+                        iteration,
+                    };
+                }
+                EngineState::Finishing { outcome } => {
+                    // Stamp the total before resolving the final objective,
+                    // exactly as the synchronous loop did.
+                    if let Some(t) = t0.take() {
+                        self.stats.total_time += t.elapsed();
+                    }
+                    match self.finish_run(outcome) {
+                        Ok(result) => {
+                            let out = StepResult::Done(Box::new(result.clone()));
+                            self.state = EngineState::Done { result };
+                            return out;
+                        }
+                        Err(e) => {
+                            self.state = EngineState::Failed { error: e.clone() };
+                            return StepResult::Rejected(e);
+                        }
+                    }
+                }
+                EngineState::Done { result } => {
+                    let out = StepResult::Done(Box::new(result.clone()));
+                    self.state = EngineState::Done { result };
+                    return out;
+                }
+                EngineState::Failed { error } => {
+                    let out = StepResult::Rejected(error.clone());
+                    self.state = EngineState::Failed { error };
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Reset per-run state (a fresh engine is already reset; `run` can
+    /// also restart a finished one).
+    fn begin_run(&mut self) {
         self.stats = SynthStats::default();
         self.iter_solver = SolverTelemetry::default();
         if let Some(c) = &mut self.cache {
@@ -807,126 +1066,156 @@ impl Synthesizer {
         }
         self.sem_epoch = 0;
         self.qb.take_clause_counters();
+        self.ctx = LoopCtx::default();
         if self.pretightened_dims > 0 {
             let dims = self.pretightened_dims;
             trace::counter("engine.pretighten", || vec![("dims", Value::U64(dims as u64))]);
             self.tally(&SolverTelemetry { boxes_pretightened: dims, ..SolverTelemetry::default() });
         }
-        let _run_span =
-            trace::span_with("engine.run", || vec![("seed", Value::U64(self.cfg.seed))]);
-        let run_start = Instant::now();
+    }
 
-        // Step 1: initial random scenarios (paper: 5 by default).
-        if self.cfg.initial_scenarios > 0 {
-            let _sp = trace::span_with("engine.initial_ranking", || {
-                vec![("scenarios", Value::U64(self.cfg.initial_scenarios as u64))]
-            });
-            let t0 = Instant::now();
-            let mut initial = Vec::new();
-            while initial.len() < self.cfg.initial_scenarios {
-                let s = self.space.sample(&mut self.rng);
-                if !initial.contains(&s) {
-                    initial.push(s);
-                }
+    /// Sample the initial random scenarios (paper: 5 by default).
+    fn sample_initial(&mut self) -> Vec<Scenario> {
+        let _sp = trace::span_with("engine.initial_ranking", || {
+            vec![("scenarios", Value::U64(self.cfg.initial_scenarios as u64))]
+        });
+        let t0 = Instant::now();
+        let mut initial = Vec::new();
+        while initial.len() < self.cfg.initial_scenarios {
+            let s = self.space.sample(&mut self.rng);
+            if !initial.contains(&s) {
+                initial.push(s);
             }
-            self.stats.init_time = t0.elapsed();
-            let ranking = self.ask_oracle(oracle, &initial);
-            self.record_ranking(&initial, &ranking)?;
         }
+        self.stats.init_time = t0.elapsed();
+        initial
+    }
 
-        let mut feas_seeds: Vec<Model> = Vec::new();
-        let mut exhausted_streak = 0usize;
-        let mut outcome = SynthOutcome::IterationLimit;
-        let mut candidate: Option<CompletedObjective> = None;
+    /// Run one iteration's synthesis work (candidate search + pair
+    /// search), leaving the next [`EngineState`] behind: `AwaitPair` when
+    /// pairs need ranking, `Finishing` on convergence / budget / the
+    /// iteration cap, or `BetweenIters` for a dry iteration that records
+    /// nothing and retries.
+    fn advance_iteration(&mut self) -> Result<(), SynthError> {
+        if self.ctx.iter >= self.cfg.max_iterations {
+            self.state = EngineState::Finishing { outcome: SynthOutcome::IterationLimit };
+            return Ok(());
+        }
+        self.ctx.iter += 1;
+        let iter = self.ctx.iter;
+        let _iter_span =
+            trace::span_with("engine.iteration", || vec![("iter", Value::U64(iter as u64))]);
+        let t0 = Instant::now();
+        self.iter_solver = SolverTelemetry::default();
 
-        for iter in 1..=self.cfg.max_iterations {
-            let _iter_span =
-                trace::span_with("engine.iteration", || vec![("iter", Value::U64(iter as u64))]);
-            let t0 = Instant::now();
-            self.iter_solver = SolverTelemetry::default();
+        // Current candidate fa.
+        let mut all_seeds = self.ctx.feas_seeds.clone();
+        all_seeds.extend(self.pool_seeds());
+        let fa = self.find_candidate(&all_seeds)?;
+        synth_msg(format_args!("iter {iter}: fa = {fa}"));
+        self.remember_candidate(fa.hole_values());
+        self.ctx.feas_seeds.clear();
+        let fa_seed = self.qb.seed_from_holes(fa.hole_values());
+        self.ctx.feas_seeds.push(fa_seed);
+        self.ctx.candidate = Some(fa.clone());
 
-            // Current candidate fa.
-            let mut all_seeds = feas_seeds.clone();
-            all_seeds.extend(self.pool_seeds());
-            let fa = self.find_candidate(&all_seeds)?;
-            synth_msg(format_args!("iter {iter}: fa = {fa}"));
-            self.remember_candidate(fa.hole_values());
-            feas_seeds.clear();
-            feas_seeds.push(self.qb.seed_from_holes(fa.hole_values()));
-            candidate = Some(fa.clone());
-
-            // Generate up to `pairs_per_iteration` distinguishing pairs.
-            let mut pairs: Vec<(Scenario, Scenario)> = Vec::new();
-            let mut converged = false;
-            let mut sat_from_seeding = false;
-            for k in 0..self.cfg.pairs_per_iteration {
-                match self.find_pair(&fa, &pairs, &feas_seeds) {
-                    PairSearch::Found { pair, from_seeding, fb_holes } => {
-                        sat_from_seeding |= from_seeding;
-                        self.remember_candidate(&fb_holes);
-                        pairs.push(pair);
-                        // The second candidate's holes seed the next
-                        // feasibility search: whichever way the oracle
-                        // answers, fa or fb stays feasible.
-                        feas_seeds.push(self.qb.seed_from_holes(&fb_holes));
-                        exhausted_streak = 0;
-                    }
-                    PairSearch::Converged => {
-                        if k == 0 {
-                            converged = true;
-                        }
-                        break;
-                    }
-                    PairSearch::Exhausted => {
-                        if k == 0 {
-                            exhausted_streak += 1;
-                        }
-                        break;
-                    }
+        // Generate up to `pairs_per_iteration` distinguishing pairs.
+        let mut pairs: Vec<(Scenario, Scenario)> = Vec::new();
+        let mut converged = false;
+        let mut sat_from_seeding = false;
+        for k in 0..self.cfg.pairs_per_iteration {
+            let extra_seeds = self.ctx.feas_seeds.clone();
+            match self.find_pair(&fa, &pairs, &extra_seeds) {
+                PairSearch::Found { pair, from_seeding, fb_holes } => {
+                    sat_from_seeding |= from_seeding;
+                    self.remember_candidate(&fb_holes);
+                    pairs.push(pair);
+                    // The second candidate's holes seed the next
+                    // feasibility search: whichever way the oracle
+                    // answers, fa or fb stays feasible.
+                    let fb_seed = self.qb.seed_from_holes(&fb_holes);
+                    self.ctx.feas_seeds.push(fb_seed);
+                    self.ctx.exhausted_streak = 0;
                 }
-            }
-            self.drain_clause_counters();
-
-            if converged {
-                // The final (unsatisfiable) check is synthesis work but not
-                // an interaction; fold its time into the total only.
-                self.stats.total_time = self.synthesis_elapsed(run_start);
-                outcome = SynthOutcome::Converged;
-                break;
-            }
-            if pairs.is_empty() {
-                if exhausted_streak >= self.cfg.max_exhausted_streak {
-                    self.stats.total_time = self.synthesis_elapsed(run_start);
-                    outcome = SynthOutcome::ConvergedBudget;
+                PairSearch::Converged => {
+                    if k == 0 {
+                        converged = true;
+                    }
                     break;
                 }
-                continue;
+                PairSearch::Exhausted => {
+                    if k == 0 {
+                        self.ctx.exhausted_streak += 1;
+                    }
+                    break;
+                }
             }
+        }
+        self.drain_clause_counters();
 
-            let synthesis_time = t0.elapsed();
+        if converged {
+            self.state = EngineState::Finishing { outcome: SynthOutcome::Converged };
+            return Ok(());
+        }
+        if pairs.is_empty() {
+            if self.ctx.exhausted_streak >= self.cfg.max_exhausted_streak {
+                self.state = EngineState::Finishing { outcome: SynthOutcome::ConvergedBudget };
+            }
+            // Dry iteration below the streak cap: stay BetweenIters, no
+            // IterationRecord — exactly the synchronous loop's `continue`.
+            return Ok(());
+        }
+        let synthesis_time = t0.elapsed();
+        self.state =
+            EngineState::AwaitPair { pairs, next: 0, synthesis_time, sat_from_seeding, asked: 0 };
+        Ok(())
+    }
 
-            // Interaction: have the oracle rank each pair.
-            let mut asked = 0;
-            for (s1, s2) in &pairs {
-                let query = vec![s1.clone(), s2.clone()];
-                let ranking = self.ask_oracle(oracle, &query);
+    /// Record the pending query's ranking and move the state machine on.
+    fn answer_inner(&mut self, ranking: &Ranking) -> Result<(), SynthError> {
+        let state = std::mem::replace(&mut self.state, EngineState::Idle);
+        match state {
+            EngineState::AwaitInitial { scenarios } => {
+                self.record_ranking(&scenarios, ranking)?;
+                self.state = EngineState::BetweenIters;
+                Ok(())
+            }
+            EngineState::AwaitPair { pairs, next, synthesis_time, sat_from_seeding, mut asked } => {
+                let (s1, s2) = pairs[next].clone();
+                let query = vec![s1, s2];
+                self.record_ranking(&query, ranking)?;
                 asked += 2;
-                self.record_ranking(&query, &ranking)?;
+                let next = next + 1;
+                if next == pairs.len() {
+                    self.stats.records.push(IterationRecord {
+                        index: self.ctx.iter,
+                        synthesis_time,
+                        scenarios_asked: asked,
+                        sat_from_seeding,
+                        solver: self.iter_solver,
+                    });
+                    self.state = EngineState::BetweenIters;
+                } else {
+                    self.state = EngineState::AwaitPair {
+                        pairs,
+                        next,
+                        synthesis_time,
+                        sat_from_seeding,
+                        asked,
+                    };
+                }
+                Ok(())
             }
-
-            self.stats.records.push(IterationRecord {
-                index: iter,
-                synthesis_time,
-                scenarios_asked: asked,
-                sat_from_seeding,
-                solver: self.iter_solver,
-            });
+            other => {
+                self.state = other;
+                Err(SynthError::NoPendingQuery)
+            }
         }
+    }
 
-        if self.stats.total_time.is_zero() {
-            self.stats.total_time = self.synthesis_elapsed(run_start);
-        }
-        let objective = match candidate {
+    /// Resolve the final objective and build the result.
+    fn finish_run(&mut self, outcome: SynthOutcome) -> Result<SynthResult, SynthError> {
+        let objective = match self.ctx.candidate.clone() {
             Some(c) => c,
             None => self.find_candidate(&[])?,
         };
@@ -963,12 +1252,6 @@ impl Synthesizer {
         let ranking = oracle.rank(scenarios);
         self.stats.oracle_time += t0.elapsed();
         ranking
-    }
-
-    /// Synthesis time elapsed since `run_start`, with accumulated oracle
-    /// time excluded.
-    fn synthesis_elapsed(&self, run_start: Instant) -> std::time::Duration {
-        run_start.elapsed().saturating_sub(self.stats.oracle_time)
     }
 }
 

@@ -53,13 +53,17 @@ pub mod engine;
 pub mod oracle;
 pub mod query;
 pub mod scenario;
+pub mod session;
+pub mod snapshot;
 pub mod stats;
 pub mod verify;
 
 pub use config::{LintPolicy, SynthConfig};
-pub use engine::{SynthError, SynthOutcome, SynthResult, Synthesizer};
+pub use engine::{StepResult, SynthError, SynthOutcome, SynthResult, Synthesizer};
 pub use oracle::{
     FnOracle, GroundTruthOracle, IndifferenceOracle, LoggingOracle, NoisyOracle, Oracle, Ranking,
 };
 pub use scenario::{MetricSpace, Scenario};
+pub use session::Session;
+pub use snapshot::SnapshotError;
 pub use stats::{IterationRecord, RunSummary, SynthStats};

@@ -387,6 +387,7 @@ mod tests {
             name: name.to_owned(),
             thread: 0,
             worker: None,
+            session: None,
             seq: 0,
             wall_ns: 0,
             dur_ns: None,

@@ -284,6 +284,74 @@ impl SolverCache {
     pub fn clear_frontiers(&mut self) {
         self.frontiers.clear();
     }
+
+    /// Decompose the cache into plain data for serialization. The output
+    /// order is deterministic — memo entries sorted by key fingerprint
+    /// (bucket insertion order within a fingerprint), frontiers sorted by
+    /// site — so serializing the same cache twice yields the same bytes
+    /// regardless of `HashMap` iteration order.
+    #[must_use]
+    pub fn export(&self) -> CacheExport {
+        let mut hashes: Vec<u64> = self.memo.keys().copied().collect();
+        hashes.sort_unstable();
+        let memo = hashes.iter().flat_map(|h| self.memo[h].iter().cloned()).collect();
+        let mut sites: Vec<u64> = self.frontiers.keys().copied().collect();
+        sites.sort_unstable();
+        let frontiers = sites
+            .iter()
+            .map(|&site| {
+                let e = &self.frontiers[&site];
+                FrontierExport {
+                    site,
+                    epoch: e.epoch,
+                    revision: e.revision,
+                    boxes: e.boxes.clone(),
+                }
+            })
+            .collect();
+        CacheExport { memo, frontiers, stats: self.stats }
+    }
+
+    /// Rebuild a cache from [`SolverCache::export`] output. Entries are
+    /// re-recorded in export order, so a round trip preserves both lookup
+    /// behavior and the deterministic export order.
+    #[must_use]
+    pub fn import(export: CacheExport) -> SolverCache {
+        let mut cache = SolverCache::new();
+        for (key, entry) in export.memo {
+            cache.record(key, entry.outcome, entry.sat_from_seeding);
+        }
+        for f in export.frontiers {
+            cache.store_frontier(f.site, f.epoch, f.revision, f.boxes);
+        }
+        cache.stats = export.stats;
+        cache
+    }
+}
+
+/// Plain-data decomposition of a [`SolverCache`] (see
+/// [`SolverCache::export`]), ordered deterministically.
+#[derive(Debug, Clone)]
+pub struct CacheExport {
+    /// Memoized invocations, sorted by key fingerprint.
+    pub memo: Vec<(QueryKey, MemoEntry)>,
+    /// Warm-start frontiers, sorted by site.
+    pub frontiers: Vec<FrontierExport>,
+    /// Effectiveness counters at export time.
+    pub stats: CacheStats,
+}
+
+/// One exported warm-start frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierExport {
+    /// Query-site fingerprint the frontier belongs to.
+    pub site: u64,
+    /// Graph epoch the frontier was recorded under.
+    pub epoch: u64,
+    /// Graph revision at record time.
+    pub revision: u64,
+    /// Boxes covering everything the recorded run did not refute.
+    pub boxes: Vec<BoxDomain>,
 }
 
 /// Sound interval refutation of `f` over `dom`: `true` only if no point of
@@ -425,6 +493,38 @@ mod tests {
         // A satisfiable conjunction is never refuted.
         let f = Formula::and(vec![Term::var(x).ge(Term::int(1)), Term::var(y).le(Term::int(9))]);
         assert!(!refutes(&f, &d));
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_behavior() {
+        let (d, x, y) = setup();
+        let f = Term::var(x).ge(Term::int(5));
+        let g = Term::var(y).le(Term::int(3));
+        let mut cache = SolverCache::new();
+        cache.record(key(f.clone(), &d, 7), Outcome::Unsat, false);
+        cache.record(key(g.clone(), &d, 9), Outcome::DeltaUnsat, true);
+        cache.store_frontier(4, 1, 2, vec![d.clone()]);
+        cache.store_frontier(2, 0, 5, vec![]);
+        let _ = cache.lookup(&key(f.clone(), &d, 7)); // bump stats
+        let export = cache.export();
+        assert_eq!(export.memo.len(), 2);
+        assert_eq!(export.frontiers.len(), 2);
+        // Frontiers come back sorted by site.
+        assert_eq!(export.frontiers[0].site, 2);
+        assert_eq!(export.frontiers[1].site, 4);
+        let mut back = SolverCache::import(export.clone());
+        assert_eq!(back.memo_len(), 2);
+        assert_eq!(back.frontier_len(), 2);
+        assert_eq!(back.stats.cache_hits, cache.stats.cache_hits);
+        let hit = back.lookup(&key(f, &d, 7)).expect("memo survives round trip");
+        assert_eq!(hit.outcome, Outcome::Unsat);
+        assert!(back.try_warm_unsat(2, 0, 5, &g), "empty frontier survives round trip");
+        // Exporting the rebuilt cache reproduces the same ordering.
+        let again = SolverCache::import(export.clone()).export();
+        assert_eq!(again.memo.len(), export.memo.len());
+        for (a, b) in again.memo.iter().zip(&export.memo) {
+            assert!(a.0.same_as(&b.0));
+        }
     }
 
     #[test]

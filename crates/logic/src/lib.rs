@@ -58,7 +58,7 @@ pub mod solver;
 pub mod term;
 pub mod vars;
 
-pub use cache::{CacheStats, MemoEntry, QueryKey, SolverCache};
+pub use cache::{CacheExport, CacheStats, FrontierExport, MemoEntry, QueryKey, SolverCache};
 pub use model::Model;
 pub use term::{CmpOp, Formula, Term};
 pub use vars::{BoxDomain, VarId, VarRegistry};

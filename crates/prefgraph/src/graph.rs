@@ -12,6 +12,14 @@ impl ScenarioId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Build an id from a raw index. Validity is the caller's burden;
+    /// [`PrefGraph::from_parts`] checks every id it is handed against the
+    /// scenario count, so deserializers can construct ids safely.
+    #[must_use]
+    pub fn from_index(index: usize) -> ScenarioId {
+        ScenarioId(index)
+    }
 }
 
 /// Identifier of a preference edge.
@@ -293,6 +301,71 @@ impl<S> PrefGraph<S> {
     pub fn is_consistent(&self) -> bool {
         crate::closure::find_cycle(self).is_none()
     }
+
+    /// Decompose the graph into plain data for serialization. The parts
+    /// capture the exact internal state — including union-find parent
+    /// links and the revision/epoch counters — so
+    /// [`PrefGraph::from_parts`] rebuilds a structurally identical graph
+    /// (same ids, same class representatives, same counters).
+    #[must_use]
+    pub fn to_parts(self) -> GraphParts<S> {
+        GraphParts {
+            scenarios: self.scenarios,
+            edges: self.edges,
+            dsu_parents: self.dsu.parent,
+            revision: self.revision,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Rebuild a graph from [`PrefGraph::to_parts`] output.
+    ///
+    /// # Errors
+    /// Returns a description of the first structural violation: a parent
+    /// vector whose length disagrees with the scenario count, a parent
+    /// link or edge endpoint out of range.
+    pub fn from_parts(parts: GraphParts<S>) -> Result<PrefGraph<S>, String> {
+        let n = parts.scenarios.len();
+        if parts.dsu_parents.len() != n {
+            return Err(format!(
+                "dsu parent count {} does not match scenario count {n}",
+                parts.dsu_parents.len()
+            ));
+        }
+        if let Some(&bad) = parts.dsu_parents.iter().find(|&&p| p >= n) {
+            return Err(format!("dsu parent {bad} out of range for {n} scenarios"));
+        }
+        if let Some(e) = parts.edges.iter().find(|e| e.preferred.0 >= n || e.other.0 >= n) {
+            return Err(format!(
+                "edge ({}, {}) out of range for {n} scenarios",
+                e.preferred.0, e.other.0
+            ));
+        }
+        Ok(PrefGraph {
+            scenarios: parts.scenarios,
+            edges: parts.edges,
+            dsu: Dsu { parent: parts.dsu_parents },
+            revision: parts.revision,
+            epoch: parts.epoch,
+        })
+    }
+}
+
+/// Plain-data decomposition of a [`PrefGraph`] (see
+/// [`PrefGraph::to_parts`]). Scenario ids are positions in `scenarios`;
+/// `dsu_parents[i]` is the union-find parent link of scenario `i`.
+#[derive(Debug, Clone)]
+pub struct GraphParts<S> {
+    /// Scenario payloads in id order.
+    pub scenarios: Vec<S>,
+    /// All strict edges, including removed ones, in insertion order.
+    pub edges: Vec<PrefEdge>,
+    /// Union-find parent links for the indifference classes.
+    pub dsu_parents: Vec<usize>,
+    /// Strengthening counter (see [`PrefGraph::revision`]).
+    pub revision: u64,
+    /// Weakening counter (see [`PrefGraph::epoch`]).
+    pub epoch: u64,
 }
 
 #[cfg(test)]
@@ -380,6 +453,52 @@ mod tests {
         g.remove_edge(e);
         assert_eq!(g.epoch(), 1, "removal weakens: epoch bumps");
         assert!(g.revision() > 2);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_structure() {
+        let (mut g, a, b, c) = three();
+        g.prefer(a, b).unwrap();
+        let e = g.prefer_unchecked(b, c, 0.5);
+        g.mark_indifferent(a, c).unwrap_err();
+        g.remove_edge(e);
+        let before = (g.revision(), g.epoch(), g.edge_count(), g.class_of(a));
+        let back = PrefGraph::from_parts(g.to_parts()).unwrap();
+        assert_eq!((back.revision(), back.epoch(), back.edge_count(), back.class_of(a)), before);
+        assert!(back.reaches(a, b));
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_input() {
+        let parts = GraphParts {
+            scenarios: vec!["a", "b"],
+            edges: Vec::new(),
+            dsu_parents: vec![0], // wrong length
+            revision: 0,
+            epoch: 0,
+        };
+        assert!(PrefGraph::from_parts(parts).is_err());
+        let parts = GraphParts {
+            scenarios: vec!["a", "b"],
+            edges: vec![PrefEdge {
+                preferred: ScenarioId(5),
+                other: ScenarioId(0),
+                confidence: 1.0,
+                removed: false,
+            }],
+            dsu_parents: vec![0, 1],
+            revision: 0,
+            epoch: 0,
+        };
+        assert!(PrefGraph::from_parts(parts).is_err());
+        let parts = GraphParts {
+            scenarios: vec!["a"],
+            edges: Vec::new(),
+            dsu_parents: vec![3], // parent out of range
+            revision: 0,
+            epoch: 0,
+        };
+        assert!(PrefGraph::from_parts(parts).is_err());
     }
 
     #[test]

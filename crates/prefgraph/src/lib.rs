@@ -28,4 +28,4 @@ pub mod closure;
 pub mod graph;
 pub mod noise;
 
-pub use graph::{CycleError, EdgeId, PrefEdge, PrefGraph, ScenarioId};
+pub use graph::{CycleError, EdgeId, GraphParts, PrefEdge, PrefGraph, ScenarioId};

@@ -44,7 +44,8 @@
 //! `k` is the kind (`s`pan start, span `e`nd, `c`ounter, `m`essage), `n`
 //! the name, `t` the thread id, `q` the per-thread logical clock, `ns`
 //! wall-clock nanoseconds since the process's first event, `w` the pool
-//! worker index (absent outside workers), `dur` the span duration in
+//! worker index (absent outside workers), `sid` the synthesis session id
+//! (absent outside a [`session_scope`]), `dur` the span duration in
 //! nanoseconds (span ends only), and `f` the event's fields. Span ends
 //! repeat their start's fields so single-pass consumers need no
 //! start/end matching.
@@ -107,6 +108,9 @@ pub struct Event {
     pub thread: u32,
     /// Pool worker index, when emitted inside a [`crate::pool`] worker.
     pub worker: Option<u32>,
+    /// Synthesis session id, when emitted inside a [`session_scope`].
+    /// Lets a multi-session service demultiplex one shared stream.
+    pub session: Option<u64>,
     /// Per-thread logical clock: strictly increasing on each thread.
     pub seq: u64,
     /// Wall-clock nanoseconds since the process's first trace event.
@@ -163,6 +167,7 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 thread_local! {
     static THREAD_ID: Cell<Option<u32>> = const { Cell::new(None) };
     static WORKER_ID: Cell<Option<u32>> = const { Cell::new(None) };
+    static SESSION_ID: Cell<Option<u64>> = const { Cell::new(None) };
     static LOGICAL_CLOCK: Cell<u64> = const { Cell::new(0) };
 }
 
@@ -280,6 +285,7 @@ fn emit(kind: Kind, name: &str, dur_ns: Option<u64>, fields: Vec<(String, Value)
         name: name.to_owned(),
         thread: thread_id(),
         worker: WORKER_ID.with(Cell::get),
+        session: SESSION_ID.with(Cell::get),
         seq,
         wall_ns,
         dur_ns,
@@ -366,6 +372,26 @@ pub fn worker_scope(worker: u32) -> WorkerGuard {
     WorkerGuard { prev: WORKER_ID.with(|c| c.replace(Some(worker))) }
 }
 
+/// RAII guard restoring the previous session id on drop (see
+/// [`session_scope`]).
+pub struct SessionGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        SESSION_ID.with(|c| c.set(self.prev));
+    }
+}
+
+/// Stamp every event emitted on the current thread with synthesis session
+/// `session` until the guard drops. Scopes nest; the previous id (if any)
+/// is restored on drop, so a session manager stepping many sessions on
+/// one pool worker attributes each burst of events correctly.
+pub fn session_scope(session: u64) -> SessionGuard {
+    SessionGuard { prev: SESSION_ID.with(|c| c.replace(Some(session))) }
+}
+
 // -- well-formedness --------------------------------------------------------
 
 /// Check the structural invariants every emitted stream must satisfy:
@@ -445,6 +471,9 @@ pub fn to_jsonl(e: &Event) -> String {
     let _ = write!(s, "\",\"t\":{},\"q\":{},\"ns\":{}", e.thread, e.seq, e.wall_ns);
     if let Some(w) = e.worker {
         let _ = write!(s, ",\"w\":{w}");
+    }
+    if let Some(sid) = e.session {
+        let _ = write!(s, ",\"sid\":{sid}");
     }
     if let Some(d) = e.dur_ns {
         let _ = write!(s, ",\"dur\":{d}");
@@ -615,6 +644,7 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
     let mut seq = None;
     let mut wall_ns = None;
     let mut worker = None;
+    let mut session = None;
     let mut dur_ns = None;
     let mut fields = Vec::new();
     loop {
@@ -642,6 +672,7 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
             "q" => seq = Some(p.u64()?),
             "ns" => wall_ns = Some(p.u64()?),
             "w" => worker = Some(u32::try_from(p.u64()?).map_err(|_| "worker id overflow")?),
+            "sid" => session = Some(p.u64()?),
             "dur" => dur_ns = Some(p.u64()?),
             "f" => {
                 p.expect(b'{')?;
@@ -680,6 +711,7 @@ pub fn parse_line(line: &str) -> Result<Event, String> {
         name: name.ok_or("missing key \"n\"")?,
         thread: thread.ok_or("missing key \"t\"")?,
         worker,
+        session,
         seq: seq.ok_or("missing key \"q\"")?,
         wall_ns: wall_ns.ok_or("missing key \"ns\"")?,
         dur_ns,
@@ -843,6 +875,7 @@ mod tests {
             name: "solver.query".to_owned(),
             thread: 3,
             worker: Some(1),
+            session: Some(9),
             seq: 17,
             wall_ns: 123_456_789,
             dur_ns: None,
@@ -863,6 +896,7 @@ mod tests {
                 name: "engine.iteration".to_owned(),
                 thread: 0,
                 worker: None,
+                session: None,
                 seq: 0,
                 wall_ns: 0,
                 dur_ns: None,
@@ -873,6 +907,7 @@ mod tests {
                 name: "engine.iteration".to_owned(),
                 thread: 0,
                 worker: None,
+                session: None,
                 seq: 5,
                 wall_ns: 99,
                 dur_ns: Some(98),
@@ -883,6 +918,7 @@ mod tests {
                 name: "synth".to_owned(),
                 thread: 7,
                 worker: Some(0),
+                session: Some(0),
                 seq: 2,
                 wall_ns: 1,
                 dur_ns: None,
@@ -1002,6 +1038,35 @@ mod tests {
         let untagged = events.iter().find(|e| e.name == "t.untagged").unwrap();
         assert_eq!(tagged.worker, Some(5));
         assert_eq!(untagged.worker, None);
+    }
+
+    #[test]
+    fn session_scope_tags_events_and_nests() {
+        let _g = lock();
+        let mem = Arc::new(MemorySink::new());
+        install(mem.clone());
+        {
+            let _outer = session_scope(11);
+            counter("t.sid.outer", Vec::new);
+            {
+                let _inner = session_scope(12);
+                counter("t.sid.inner", Vec::new);
+            }
+            counter("t.sid.restored", Vec::new);
+        }
+        counter("t.sid.none", Vec::new);
+        let _ = uninstall();
+        let events = mem.take();
+        let by = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by("t.sid.outer").session, Some(11));
+        assert_eq!(by("t.sid.inner").session, Some(12));
+        assert_eq!(by("t.sid.restored").session, Some(11));
+        assert_eq!(by("t.sid.none").session, None);
+        // The session id survives the JSONL round trip.
+        for e in &events {
+            let back = parse_line(&to_jsonl(e)).unwrap();
+            assert_eq!(back.session, e.session);
+        }
     }
 
     #[test]

@@ -3,11 +3,11 @@
 //! After parsing, parameters and holes are interned to dense indices:
 //! `Expr::Param(i)` is the i-th function parameter (a metric such as
 //! throughput), `Expr::Hole(i)` is the i-th declared hole. The AST is
-//! immutable and shared via `Rc` where sub-expressions repeat.
+//! immutable and shared via `Arc` where sub-expressions repeat.
 
 use cso_numeric::Rat;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A half-open byte range `[start, end)` into the sketch source text.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,34 +123,34 @@ pub enum Expr {
     /// The i-th declared hole.
     Hole(usize),
     /// Unary minus.
-    Neg(Rc<Expr>),
+    Neg(Arc<Expr>),
     /// Addition.
-    Add(Rc<Expr>, Rc<Expr>),
+    Add(Arc<Expr>, Arc<Expr>),
     /// Subtraction.
-    Sub(Rc<Expr>, Rc<Expr>),
+    Sub(Arc<Expr>, Arc<Expr>),
     /// Multiplication.
-    Mul(Rc<Expr>, Rc<Expr>),
+    Mul(Arc<Expr>, Arc<Expr>),
     /// Division.
-    Div(Rc<Expr>, Rc<Expr>),
+    Div(Arc<Expr>, Arc<Expr>),
     /// Pointwise minimum.
-    Min(Rc<Expr>, Rc<Expr>),
+    Min(Arc<Expr>, Arc<Expr>),
     /// Pointwise maximum.
-    Max(Rc<Expr>, Rc<Expr>),
+    Max(Arc<Expr>, Arc<Expr>),
     /// Conditional.
-    If(Rc<BExpr>, Rc<Expr>, Rc<Expr>),
+    If(Arc<BExpr>, Arc<Expr>, Arc<Expr>),
 }
 
 /// A boolean expression (only usable as an `if` condition).
 #[derive(Debug, Clone, PartialEq)]
 pub enum BExpr {
     /// Comparison of two numeric expressions.
-    Cmp(CmpKind, Rc<Expr>, Rc<Expr>),
+    Cmp(CmpKind, Arc<Expr>, Arc<Expr>),
     /// Conjunction.
-    And(Rc<BExpr>, Rc<BExpr>),
+    And(Arc<BExpr>, Arc<BExpr>),
     /// Disjunction.
-    Or(Rc<BExpr>, Rc<BExpr>),
+    Or(Arc<BExpr>, Arc<BExpr>),
     /// Negation.
-    Not(Rc<BExpr>),
+    Not(Arc<BExpr>),
 }
 
 /// Comparison operators in conditions.
@@ -267,8 +267,8 @@ mod tests {
     #[test]
     fn sizes_and_holes() {
         let e = Expr::Add(
-            Rc::new(Expr::Hole(1)),
-            Rc::new(Expr::Mul(Rc::new(Expr::Param(0)), Rc::new(Expr::Hole(0)))),
+            Arc::new(Expr::Hole(1)),
+            Arc::new(Expr::Mul(Arc::new(Expr::Param(0)), Arc::new(Expr::Hole(0)))),
         );
         assert_eq!(e.size(), 5);
         assert_eq!(e.holes_used(), vec![0, 1]);
@@ -276,8 +276,8 @@ mod tests {
 
     #[test]
     fn if_holes_include_condition() {
-        let c = BExpr::Cmp(CmpKind::Ge, Rc::new(Expr::Param(0)), Rc::new(Expr::Hole(2)));
-        let e = Expr::If(Rc::new(c), Rc::new(Expr::Num(Rat::one())), Rc::new(Expr::Hole(2)));
+        let c = BExpr::Cmp(CmpKind::Ge, Arc::new(Expr::Param(0)), Arc::new(Expr::Hole(2)));
+        let e = Expr::If(Arc::new(c), Arc::new(Expr::Num(Rat::one())), Arc::new(Expr::Hole(2)));
         assert_eq!(e.holes_used(), vec![2]);
     }
 }

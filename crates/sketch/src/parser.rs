@@ -26,7 +26,7 @@ use crate::lexer::{lex, LexError, Spanned, Token};
 use crate::sketch::Sketch;
 use cso_numeric::Rat;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A parse (or lex) error with source offset.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,7 +178,7 @@ impl Parser {
             self.expect(&Token::Else)?;
             let (els, esp) = self.parse_expr()?;
             let sp = SpanTree::node(self.span_from(start), vec![csp, tsp, esp]);
-            return Ok((Expr::If(Rc::new(cond), Rc::new(then), Rc::new(els)), sp));
+            return Ok((Expr::If(Arc::new(cond), Arc::new(then), Arc::new(els)), sp));
         }
         self.parse_arith()
     }
@@ -196,9 +196,9 @@ impl Parser {
             let (rhs, rsp) = self.parse_term()?;
             let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
             lhs = if add {
-                Expr::Add(Rc::new(lhs), Rc::new(rhs))
+                Expr::Add(Arc::new(lhs), Arc::new(rhs))
             } else {
-                Expr::Sub(Rc::new(lhs), Rc::new(rhs))
+                Expr::Sub(Arc::new(lhs), Arc::new(rhs))
             };
             lsp = sp;
         }
@@ -217,9 +217,9 @@ impl Parser {
             let (rhs, rsp) = self.parse_factor()?;
             let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
             lhs = if mul {
-                Expr::Mul(Rc::new(lhs), Rc::new(rhs))
+                Expr::Mul(Arc::new(lhs), Arc::new(rhs))
             } else {
-                Expr::Div(Rc::new(lhs), Rc::new(rhs))
+                Expr::Div(Arc::new(lhs), Arc::new(rhs))
             };
             lsp = sp;
         }
@@ -231,7 +231,7 @@ impl Parser {
             self.pos += 1;
             let (inner, isp) = self.parse_factor()?;
             let sp = SpanTree::node(self.span_from(start), vec![isp]);
-            return Ok((Expr::Neg(Rc::new(inner)), sp));
+            return Ok((Expr::Neg(Arc::new(inner)), sp));
         }
         self.parse_atom()
     }
@@ -276,9 +276,9 @@ impl Parser {
                 self.expect(&Token::RParen)?;
                 let sp = SpanTree::node(self.span_from(start), vec![asp, bsp]);
                 Ok(if tok == Token::Min {
-                    (Expr::Min(Rc::new(a), Rc::new(b)), sp)
+                    (Expr::Min(Arc::new(a), Arc::new(b)), sp)
                 } else {
-                    (Expr::Max(Rc::new(a), Rc::new(b)), sp)
+                    (Expr::Max(Arc::new(a), Arc::new(b)), sp)
                 })
             }
             Some(other) => self.err(format!("expected expression, found `{other}`")),
@@ -326,7 +326,7 @@ impl Parser {
             self.pos += 1;
             let (rhs, rsp) = self.parse_bterm()?;
             let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
-            lhs = BExpr::Or(Rc::new(lhs), Rc::new(rhs));
+            lhs = BExpr::Or(Arc::new(lhs), Arc::new(rhs));
             lsp = sp;
         }
         Ok((lhs, lsp))
@@ -339,7 +339,7 @@ impl Parser {
             self.pos += 1;
             let (rhs, rsp) = self.parse_bfact()?;
             let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
-            lhs = BExpr::And(Rc::new(lhs), Rc::new(rhs));
+            lhs = BExpr::And(Arc::new(lhs), Arc::new(rhs));
             lsp = sp;
         }
         Ok((lhs, lsp))
@@ -351,7 +351,7 @@ impl Parser {
             self.pos += 1;
             let (inner, isp) = self.parse_bfact()?;
             let sp = SpanTree::node(self.span_from(start), vec![isp]);
-            return Ok((BExpr::Not(Rc::new(inner)), sp));
+            return Ok((BExpr::Not(Arc::new(inner)), sp));
         }
         // Disambiguate `(`: it may open a boolean group or a numeric
         // sub-expression of a comparison. Try boolean group first with
@@ -387,7 +387,7 @@ impl Parser {
         self.pos += 1;
         let (rhs, rsp) = self.parse_arith()?;
         let sp = SpanTree::node(self.span_from(start), vec![lsp, rsp]);
-        Ok((BExpr::Cmp(op, Rc::new(lhs), Rc::new(rhs)), sp))
+        Ok((BExpr::Cmp(op, Arc::new(lhs), Arc::new(rhs)), sp))
     }
 }
 

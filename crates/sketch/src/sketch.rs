@@ -6,7 +6,7 @@ use cso_logic::{CmpOp, Formula, Term};
 use cso_numeric::Rat;
 use std::cmp::Ordering;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Errors raised when evaluating a sketch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,7 +173,7 @@ impl Sketch {
                 }
             }
         }
-        Ok(CompletedObjective { sketch: Rc::new(self.clone()), hole_values })
+        Ok(CompletedObjective { sketch: Arc::new(self.clone()), hole_values })
     }
 
     /// Lower the sketch body to a `cso-logic` term, mapping hole `i` to
@@ -209,7 +209,7 @@ impl fmt::Display for Sketch {
 /// A sketch with all holes filled: a concrete objective function.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompletedObjective {
-    sketch: Rc<Sketch>,
+    sketch: Arc<Sketch>,
     hole_values: Vec<Rat>,
 }
 
