@@ -76,6 +76,15 @@ CSO_SYNTH_CACHE=off cargo run -q --release --offline -p cso-bench --bin repro --
     table1 --csv "$GOLD/cold" >/dev/null
 diff "$GOLD/warm/table1.csv" "$GOLD/cold/table1.csv"
 
+# Compiled-tape kill-switch golden: tape evaluation is decision-identical
+# to the tree walkers (DESIGN.md §11), so the semantic CSV must not move
+# a byte with CSO_EVAL_TAPE=off. (table1_telemetry.csv may differ — the
+# eval_errors column counts work the tape's fast path skips.)
+echo "==> table1.csv golden diff (CSO_EVAL_TAPE=off vs default)"
+CSO_EVAL_TAPE=off cargo run -q --release --offline -p cso-bench --bin repro -- \
+    table1 --csv "$GOLD/notape" >/dev/null
+diff "$GOLD/warm/table1.csv" "$GOLD/notape/table1.csv"
+
 # Tracing is strictly observational: rerun the same campaign with the
 # JSONL sink attached and golden-diff table1.csv against the untraced
 # run, then fold the trace with trace-digest (which re-checks stream
@@ -122,16 +131,17 @@ grep -q '"failed": 0' "$SERVE/BENCH_serve.json"
 grep -q '"step_p99_ms"' "$SERVE/BENCH_serve.json"
 rm -rf "$SERVE"
 
-# Bench smoke: the synth_loop group (cold vs warm synthesis, the
-# BENCH_synth.json baseline) must run end to end and emit parseable rows
-# with positive medians.
+# Bench smoke: the synth_loop group (cold vs warm synthesis plus the
+# tape-on vs tape-off branch-and-prune arms, the BENCH_synth.json
+# baseline) must run end to end and emit parseable rows with positive
+# medians.
 echo "==> cargo bench synth_loop (smoke)"
 BENCHDIR=$(mktemp -d)
 CSO_BENCH_CSV="$BENCHDIR" cargo bench -q --offline -p cso-bench --bench experiments -- synth_loop
 awk -F, '
     NR == 1 { if ($0 != "group,benchmark,median_ns,mad_ns,siqr_ns,samples") exit 1; next }
     $1 == "synth_loop" { rows++; if ($3 + 0 <= 0) exit 1 }
-    END { exit (rows == 2 ? 0 : 1) }
+    END { exit (rows == 4 ? 0 : 1) }
 ' "$BENCHDIR/bench.csv"
 rm -rf "$BENCHDIR"
 

@@ -27,7 +27,7 @@
 
 use crate::diag::{Diagnostic, Report, Severity};
 use crate::interp::{aeval_bexpr, aeval_expr, cmp_op, const_eval, rat_interval, AbsEnv};
-use cso_logic::ieval::{icmp, Tri};
+use cso_logic::ieval::{icmp, rat_enclosure, Tri};
 use cso_numeric::{Interval, Rat};
 use cso_sketch::ast::{BExpr, Expr, Span, SpanTree};
 use cso_sketch::Sketch;
@@ -282,7 +282,7 @@ impl<'a> Walker<'a> {
     /// occurrences) but emits no site lints and marks nothing live.
     fn expr(&mut self, e: &'a Expr, sp: &'a SpanTree, live: bool) -> Interval {
         match e {
-            Expr::Num(r) => Interval::point(r.to_f64()),
+            Expr::Num(r) => rat_enclosure(r),
             Expr::Param(i) => {
                 self.param_seen[*i] = true;
                 if live {

@@ -11,7 +11,7 @@
 //! no rounding, used where the analyzer needs certainty (a divisor that
 //! is *provably* the constant zero) rather than a conservative enclosure.
 
-use cso_logic::ieval::{icmp, Tri};
+use cso_logic::ieval::{icmp, rat_enclosure, Tri};
 use cso_logic::CmpOp;
 use cso_numeric::{Interval, Rat};
 use cso_sketch::ast::CmpKind;
@@ -61,7 +61,10 @@ pub fn cmp_op(k: CmpKind) -> CmpOp {
 #[must_use]
 pub fn aeval_expr(e: &Expr, env: &AbsEnv) -> Interval {
     match e {
-        Expr::Num(r) => Interval::point(r.to_f64()),
+        // One-ulp outward widening for inexact constants, exactly as the
+        // solver's `ieval_term` does it — the cross-check tests compare
+        // the two interpreters bit for bit.
+        Expr::Num(r) => rat_enclosure(r),
         Expr::Param(i) => env.params[*i],
         Expr::Hole(i) => env.holes[*i],
         Expr::Neg(a) => -aeval_expr(a, env),

@@ -6,7 +6,9 @@
 //! repro`). Sample counts are kept small because a full synthesis run is
 //! seconds, not microseconds.
 
-use cso_numeric::Rat;
+use cso_logic::solver::{Solver, SolverConfig};
+use cso_logic::{BoxDomain, Formula, Term, VarRegistry};
+use cso_numeric::{Interval, Rat};
 use cso_runtime::bench::{BenchmarkGroup, BenchmarkId, Criterion};
 use cso_sketch::swan::{swan_sketch, swan_target_with};
 use cso_synth::{GroundTruthOracle, MetricSpace, SynthConfig, Synthesizer};
@@ -136,7 +138,72 @@ fn synth_loop(c: &mut Criterion) {
             });
         });
     }
+    // Compiled-tape vs tree-walking branch-and-prune. Seeding is off and
+    // the query is interval-refutable only after heavy splitting, so the
+    // measured wall clock is essentially the `solver.bnp` span; the two
+    // arms explore byte-identical box sets (the tape differential tests
+    // enforce that), making the timing gap pure evaluator effect. The
+    // committed `BENCH_synth.json` baselines the ratio.
+    for (name, tape) in [("bnp_tape_on", true), ("bnp_tape_off", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &tape, |b, &tape| {
+            let (f, dom) = bnp_query();
+            b.iter(|| {
+                let cfg = SolverConfig {
+                    use_seeding: false,
+                    threads: 1,
+                    max_boxes: 2_000,
+                    tape,
+                    ..SolverConfig::default()
+                };
+                let mut solver = Solver::new(cfg);
+                black_box(solver.solve(&f, &dom))
+            });
+        });
+    }
     g.finish();
+}
+
+/// A SWAN-shaped pure-solver query for the `bnp_tape_*` arms: one
+/// piecewise (`ite`) nonlinear objective shared — via `Arc` — by every
+/// conjunct, pinned inside an empty band that interval arithmetic can
+/// only refute once boxes are narrow. The tree walker re-evaluates the
+/// shared objective once per conjunct per box; the tape evaluates it
+/// once per box and scores both split children in one batched pass.
+fn bnp_query() -> (Formula, BoxDomain) {
+    let mut vars = VarRegistry::new();
+    let ids: Vec<_> = ["x", "y", "z", "w"].iter().map(|n| vars.intern(n)).collect();
+    let (x, y, z, w) = (ids[0], ids[1], ids[2], ids[3]);
+    let obj = Term::ite(
+        Term::var(x).mul(Term::var(y)).ge(Term::var(z).mul(Term::var(w))),
+        Term::var(x).mul(Term::var(x)).add(Term::var(y).mul(Term::var(z))),
+        Term::var(w).mul(Term::var(w)).add(Term::var(y).mul(Term::var(x))),
+    );
+    // A polynomial in the shared objective — four occurrences of the same
+    // `Arc`, so the tree walker pays 4× per conjunct while the tape holds
+    // one slot set. The `ite` guard stays Unknown over wide boxes, where
+    // the tree walker also evaluates both branches.
+    let p = obj
+        .clone()
+        .mul(obj.clone())
+        .add(obj.clone().mul(Term::int(3)))
+        .sub(obj.clone().div(Term::constant(Rat::from_frac(7, 2))));
+    // Empty band of width 1/3 (an inexact constant, so the enclosure
+    // widening path runs too): p ≥ 400 ∧ p ≤ 400 − 1/3 has no solution,
+    // but no box is refuted until p's interval is narrower than 1/3.
+    let mut cs = vec![
+        p.clone().ge(Term::int(400)),
+        p.clone().le(Term::int(400).sub(Term::constant(Rat::from_frac(1, 3)))),
+    ];
+    for (i, &v) in ids.iter().enumerate() {
+        // Side constraints sharing the same objective Arc.
+        cs.push(obj.clone().mul(Term::var(v)).le(Term::int(2_400 + i as i64)));
+    }
+    let f = Formula::and(cs);
+    let mut dom = BoxDomain::new(&vars);
+    for &v in &ids {
+        dom.set(v, Interval::new(0.0, 10.0));
+    }
+    (f, dom)
 }
 
 /// Ablation: solver seeding on/off (DESIGN.md §5, choice 1).

@@ -97,6 +97,11 @@ pub struct RunOutcome {
     pub boxes_explored: usize,
     /// Boxes pruned by interval refutation over the run (deterministic).
     pub boxes_pruned: usize,
+    /// Exact sample evaluations that surfaced a partiality error instead
+    /// of a verdict. The compiled tape's interval fast path can reject
+    /// such samples before the exact evaluator runs, so this is the one
+    /// counter that varies with `CSO_EVAL_TAPE` — telemetry CSV only.
+    pub eval_errors: usize,
     /// Solver queries answered by exact memo replay (deterministic given
     /// the seed and cache mode; zero when the cache is off).
     pub cache_hits: usize,
@@ -148,6 +153,7 @@ fn one_run(target: (i64, i64, i64, i64), cfg_template: &SynthConfig, seed: u64) 
         solver_queries: solver.queries,
         boxes_explored: solver.boxes_explored,
         boxes_pruned: solver.boxes_pruned,
+        eval_errors: solver.eval_errors,
         cache_hits: solver.cache_hits,
         clauses_reused: solver.clauses_reused,
         boxes_carried: solver.boxes_carried,
@@ -534,7 +540,7 @@ mod tests {
         assert_eq!(a, b, "table1 CSV must be deterministic");
         let tel = crate::report::csv_table1_telemetry(&a_res);
         assert!(tel.starts_with(
-            "run,solver_queries,boxes_explored,boxes_pruned,\
+            "run,solver_queries,boxes_explored,boxes_pruned,eval_errors,\
              cache_hits,clauses_reused,boxes_carried,boxes_pretightened,\
              seeding_secs,bnp_secs,oracle_secs\n"
         ));

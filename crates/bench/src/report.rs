@@ -141,18 +141,19 @@ pub fn csv_table1(t: &Table1Result) -> String {
 #[must_use]
 pub fn csv_table1_telemetry(t: &Table1Result) -> String {
     let mut s = String::from(
-        "run,solver_queries,boxes_explored,boxes_pruned,\
+        "run,solver_queries,boxes_explored,boxes_pruned,eval_errors,\
          cache_hits,clauses_reused,boxes_carried,boxes_pretightened,\
          seeding_secs,bnp_secs,oracle_secs\n",
     );
     for (i, r) in t.runs.iter().enumerate() {
         let _ = writeln!(
             s,
-            "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}",
             i,
             r.solver_queries,
             r.boxes_explored,
             r.boxes_pruned,
+            r.eval_errors,
             r.cache_hits,
             r.clauses_reused,
             r.boxes_carried,
@@ -238,6 +239,7 @@ mod tests {
             solver_queries: 120,
             boxes_explored: 4_567,
             boxes_pruned: 1_234,
+            eval_errors: 2,
             cache_hits: 17,
             clauses_reused: 88,
             boxes_carried: 9,
@@ -252,7 +254,7 @@ mod tests {
         assert!(!csv.contains("4567"), "work counters vary with the cache mode — telemetry only");
         let tel = csv_table1_telemetry(&t);
         assert!(tel.contains("boxes_pretightened"));
-        assert!(tel.contains("0,120,4567,1234,17,88,9,0,1.500000,3.250000,0.125000"));
+        assert!(tel.contains("0,120,4567,1234,2,17,88,9,0,1.500000,3.250000,0.125000"));
     }
 
     #[test]

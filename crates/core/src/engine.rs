@@ -9,7 +9,7 @@ use cso_analysis::{analyze, AnalysisConfig, Report};
 use cso_logic::cache::{QueryKey, SolverCache};
 use cso_logic::solver::{Outcome, Solver, SolverConfig};
 use cso_logic::BoxDomain;
-use cso_logic::{Formula, Model};
+use cso_logic::{CompiledQuery, Formula, Model};
 use cso_prefgraph::{PrefGraph, ScenarioId};
 use cso_runtime::hash::Fnv64;
 use cso_runtime::trace::{self, Value};
@@ -477,9 +477,18 @@ impl Synthesizer {
                 self.tally(&SolverTelemetry { cache_hits: 1, ..SolverTelemetry::default() });
                 return (hit.outcome, hit.sat_from_seeding);
             }
+        }
+
+        // One compilation per query: the warm-start refutation below and
+        // the solver share the tape. Seeded with the (fixed) query domain,
+        // so the analyzer-pretightened hole enclosures feed the tape's
+        // decided-verdict pass.
+        let q = CompiledQuery::prepare(f, Some(&domain), sc.tape);
+        if key.is_some() {
             if let Some(ws) = warm_site {
+                let cache = self.cache.as_mut().expect("key implies cache");
                 let before = cache.stats.boxes_carried;
-                if cache.try_warm_unsat(ws, epoch, revision, f) {
+                if cache.try_warm_unsat_compiled(ws, epoch, revision, &q) {
                     let carried = cache.stats.boxes_carried - before;
                     synth_msg(format_args!("  warm-start unsat: {carried} boxes re-refuted"));
                     trace::counter("cache.warm_unsat", || {
@@ -498,7 +507,7 @@ impl Synthesizer {
         }
 
         let mut solver = Solver::new(sc);
-        let out = solver.solve_seeded(f, &domain, seeds);
+        let out = solver.solve_compiled(&q, &domain, seeds);
         self.absorb_solver(&solver);
         let sat_from_seeding = solver.stats.sat_from_seeding;
         if let Some(k) = key {
@@ -557,6 +566,7 @@ impl Synthesizer {
                 ("pruned", Value::U64(s.boxes_pruned as u64)),
                 ("residual", Value::U64(s.residual_boxes as u64)),
                 ("samples", Value::U64(s.samples_tried as u64)),
+                ("eval_errors", Value::U64(s.eval_errors as u64)),
                 ("workers", Value::U64(s.workers as u64)),
                 ("from_seeding", Value::U64(u64::from(s.sat_from_seeding))),
                 (

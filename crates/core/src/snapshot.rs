@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! magic   8 bytes  "CSOSNAP\0"
-//! version 1 byte   currently 1
+//! version 1 byte   currently 2
 //! session 8 bytes  session id, little-endian u64
 //! config  sketch source, metric space, SynthConfig
 //! state   rng, pool, graph, stats, loop context, engine state, cache
@@ -53,8 +53,9 @@ use std::time::Duration;
 
 /// Leading magic bytes of every snapshot.
 pub const MAGIC: [u8; 8] = *b"CSOSNAP\0";
-/// Current snapshot format version.
-pub const VERSION: u8 = 1;
+/// Current snapshot format version. Version 2 added the solver's `tape`
+/// toggle to the config section.
+pub const VERSION: u8 = 2;
 
 /// Why a snapshot could not be written or restored.
 #[derive(Debug, Clone)]
@@ -294,6 +295,7 @@ impl Writer {
         self.usize(t.boxes_pruned);
         self.usize(t.residual_boxes);
         self.usize(t.samples_tried);
+        self.usize(t.eval_errors);
         self.duration(t.seeding_time);
         self.duration(t.bnp_time);
         self.usize(t.max_workers);
@@ -557,6 +559,7 @@ impl<'a> Reader<'a> {
             boxes_pruned: self.usize()?,
             residual_boxes: self.usize()?,
             samples_tried: self.usize()?,
+            eval_errors: self.usize()?,
             seeding_time: self.duration()?,
             bnp_time: self.duration()?,
             max_workers: self.usize()?,
@@ -693,6 +696,7 @@ fn write_config(w: &mut Writer, cfg: &SynthConfig) {
     w.bool(cfg.solver.use_seeding);
     w.bool(cfg.solver.collect_frontier);
     w.usize(cfg.solver.threads);
+    w.bool(cfg.solver.tape);
     w.f64(cfg.delta_rel);
     w.usize(cfg.max_exhausted_streak);
     w.bool(cfg.repair_noise);
@@ -960,6 +964,7 @@ fn read_config(r: &mut Reader<'_>) -> Result<SynthConfig> {
     let use_seeding = r.bool()?;
     let collect_frontier = r.bool()?;
     let threads = r.usize()?;
+    let tape = r.bool()?;
     let solver = SolverConfig {
         delta,
         delta_per_dim,
@@ -971,6 +976,7 @@ fn read_config(r: &mut Reader<'_>) -> Result<SynthConfig> {
         use_seeding,
         collect_frontier,
         threads,
+        tape,
     };
     let delta_rel = r.f64()?;
     let max_exhausted_streak = r.usize()?;

@@ -26,6 +26,11 @@ pub struct SolverTelemetry {
     pub residual_boxes: usize,
     /// Exact sample evaluations (seeding + branch-and-prune).
     pub samples_tried: usize,
+    /// Exact evaluations that surfaced a partiality error (division by
+    /// zero, unbound variable) instead of a verdict. The tape's interval
+    /// fast path may reject such samples before the exact evaluator runs,
+    /// so this is the one counter allowed to differ with the tape on/off.
+    pub eval_errors: usize,
     /// Wall-clock time spent in seeding phases.
     pub seeding_time: Duration,
     /// Wall-clock time spent in branch-and-prune.
@@ -63,6 +68,7 @@ impl SolverTelemetry {
         self.boxes_pruned += s.boxes_pruned;
         self.residual_boxes += s.residual_boxes;
         self.samples_tried += s.samples_tried;
+        self.eval_errors += s.eval_errors;
         self.seeding_time += s.seeding_time;
         self.bnp_time += s.bnp_time;
         self.max_workers = self.max_workers.max(s.workers);
@@ -79,6 +85,7 @@ impl SolverTelemetry {
             boxes_pruned,
             residual_boxes,
             samples_tried,
+            eval_errors,
             seeding_time,
             bnp_time,
             max_workers,
@@ -92,6 +99,7 @@ impl SolverTelemetry {
         self.boxes_pruned += boxes_pruned;
         self.residual_boxes += residual_boxes;
         self.samples_tried += samples_tried;
+        self.eval_errors += eval_errors;
         self.seeding_time += seeding_time;
         self.bnp_time += bnp_time;
         self.max_workers = self.max_workers.max(max_workers);
@@ -121,6 +129,7 @@ impl SolverTelemetry {
                     t.boxes_pruned += e.field_u64("pruned").unwrap_or(0) as usize;
                     t.residual_boxes += e.field_u64("residual").unwrap_or(0) as usize;
                     t.samples_tried += e.field_u64("samples").unwrap_or(0) as usize;
+                    t.eval_errors += e.field_u64("eval_errors").unwrap_or(0) as usize;
                     t.seeding_time += Duration::from_nanos(e.field_u64("seeding_ns").unwrap_or(0));
                     t.bnp_time += Duration::from_nanos(e.field_u64("bnp_ns").unwrap_or(0));
                     t.max_workers = t.max_workers.max(e.field_u64("workers").unwrap_or(0) as usize);
@@ -313,6 +322,7 @@ mod tests {
             boxes_pruned: 4,
             residual_boxes: 1,
             samples_tried: 25,
+            eval_errors: 3,
             sat_from_seeding: false,
             seeding_time: Duration::from_millis(3),
             bnp_time: Duration::from_millis(7),
@@ -326,6 +336,7 @@ mod tests {
         assert_eq!(t.boxes_pruned, 8);
         assert_eq!(t.residual_boxes, 2);
         assert_eq!(t.samples_tried, 50);
+        assert_eq!(t.eval_errors, 6);
         assert_eq!(t.seeding_time, Duration::from_millis(6));
         assert_eq!(t.bnp_time, Duration::from_millis(14));
         assert_eq!(t.max_workers, 4, "max, not last");
@@ -347,6 +358,7 @@ mod tests {
             boxes_pruned: 3,
             residual_boxes: 4,
             samples_tried: 5,
+            eval_errors: 13,
             seeding_time: Duration::from_millis(6),
             bnp_time: Duration::from_millis(7),
             max_workers: 8,
@@ -365,6 +377,7 @@ mod tests {
                 boxes_pruned: 6,
                 residual_boxes: 8,
                 samples_tried: 10,
+                eval_errors: 26,
                 seeding_time: Duration::from_millis(12),
                 bnp_time: Duration::from_millis(14),
                 max_workers: 8,
@@ -401,6 +414,7 @@ mod tests {
                     ("pruned", 4),
                     ("residual", 1),
                     ("samples", 25),
+                    ("eval_errors", 2),
                     ("workers", 4),
                     ("seeding_ns", 3_000_001),
                     ("bnp_ns", 7_000_002),
@@ -419,6 +433,7 @@ mod tests {
             boxes_pruned: 4,
             residual_boxes: 1,
             samples_tried: 25,
+            eval_errors: 2,
             sat_from_seeding: false,
             seeding_time: Duration::from_nanos(3_000_001),
             bnp_time: Duration::from_nanos(7_000_002),

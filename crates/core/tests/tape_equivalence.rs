@@ -1,0 +1,128 @@
+//! Differential harness: the compiled evaluation tape is *purely* an
+//! optimization.
+//!
+//! Every solver query compiles its formula into a flat SSA tape whose
+//! interval and exact interpreters replace the tree walkers in the
+//! branch-and-prune loop (DESIGN.md §11). The compilation — hash-consing,
+//! constant folding, domain-seeded verdict caching, batched child
+//! evaluation, the interval fast path before exact certification — must
+//! never change what the synthesis loop observes. This test runs the full
+//! SWAN synthesis twice per configuration, once with
+//! `SolverConfig::tape = true` (the default) and once with the
+//! kill-switch thrown, and asserts the two trajectories are
+//! *byte-identical*: same outcome, same learnt hole values, same rendered
+//! objective, same iteration count, and the exact same sequence of
+//! ranking requests sent to the oracle (every scenario value in every
+//! call, and every ranking returned, in order).
+//!
+//! Unlike the incremental-cache differential (which tolerates different
+//! *work* between arms), the tape must also leave the deterministic work
+//! counters untouched: the same boxes are explored, pruned and sampled in
+//! the same order on both paths. Only `eval_errors` may differ — the
+//! tape's interval point check rejects some samples before the exact
+//! evaluator (and its division-by-zero accounting) ever runs.
+//!
+//! The matrix crosses ≥ 3 seeds with solver thread counts {1, 4}: the
+//! parallel solver is thread-count-invariant by construction, and the
+//! tape must preserve that.
+
+use cso_numeric::Rat;
+use cso_sketch::swan::{swan_sketch, swan_target};
+use cso_synth::{
+    GroundTruthOracle, MetricSpace, Oracle, Ranking, Scenario, SynthConfig, SynthOutcome,
+    Synthesizer,
+};
+
+/// One oracle interaction: the exact rational scenario values asked
+/// about, and the grouped ranking returned.
+type Interaction = (Vec<Vec<Rat>>, Vec<Vec<usize>>);
+
+/// Wraps the ground-truth oracle and records every interaction verbatim.
+/// Equal traces ⇒ equal engine-visible behaviour.
+struct RecordingOracle {
+    inner: GroundTruthOracle,
+    trace: Vec<Interaction>,
+}
+
+impl RecordingOracle {
+    fn new() -> RecordingOracle {
+        RecordingOracle { inner: GroundTruthOracle::new(swan_target()), trace: Vec::new() }
+    }
+}
+
+impl Oracle for RecordingOracle {
+    fn rank(&mut self, scenarios: &[Scenario]) -> Ranking {
+        let r = self.inner.rank(scenarios);
+        self.trace
+            .push((scenarios.iter().map(|s| s.values().to_vec()).collect(), r.groups.clone()));
+        r
+    }
+
+    fn describe(&self) -> String {
+        "recording ground truth".to_owned()
+    }
+}
+
+/// Everything the architect can observe about one synthesis run, plus the
+/// deterministic solver work counters — the tape must preserve both.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    outcome: SynthOutcome,
+    iterations: usize,
+    holes: Vec<Rat>,
+    rendered: String,
+    trace: Vec<Interaction>,
+    // Deterministic work counters (`eval_errors` deliberately excluded).
+    queries: usize,
+    boxes_explored: usize,
+    boxes_pruned: usize,
+    samples_tried: usize,
+}
+
+fn run_swan(seed: u64, threads: usize, tape: bool) -> Observed {
+    let mut cfg = SynthConfig::fast_test();
+    cfg.seed = seed;
+    cfg.solver.threads = threads;
+    cfg.solver.tape = tape;
+    let mut synth = Synthesizer::new(swan_sketch(), MetricSpace::swan(), cfg)
+        .expect("SWAN sketch matches its metric space");
+    let mut oracle = RecordingOracle::new();
+    let result = synth.run(&mut oracle).expect("ground-truth oracle is consistent");
+    let totals = result.stats.solver_totals;
+    Observed {
+        outcome: result.outcome,
+        iterations: result.stats.iterations(),
+        holes: result.objective.hole_values().to_vec(),
+        rendered: result.objective.to_string(),
+        trace: oracle.trace,
+        queries: totals.queries,
+        boxes_explored: totals.boxes_explored,
+        boxes_pruned: totals.boxes_pruned,
+        samples_tried: totals.samples_tried,
+    }
+}
+
+/// The core differential property, over seeds × thread counts.
+#[test]
+fn tape_on_and_off_are_byte_identical() {
+    for seed in [11u64, 42, 2026] {
+        for threads in [1usize, 4] {
+            let on = run_swan(seed, threads, true);
+            let off = run_swan(seed, threads, false);
+            assert_eq!(
+                on, off,
+                "seed {seed}, threads {threads}: compiled tape changed observable behaviour"
+            );
+        }
+    }
+}
+
+/// Thread-count invariance survives the tape: the tape-on trajectory with
+/// 4 workers matches the tape-on trajectory with 1 (and therefore, by the
+/// test above, the tree-walking ones too).
+#[test]
+fn tape_runs_are_thread_count_invariant() {
+    let t1 = run_swan(7, 1, true);
+    let t4 = run_swan(7, 4, true);
+    assert_eq!(t1, t4, "solver thread count leaked into the tape trajectory");
+}

@@ -36,6 +36,7 @@ use crate::ieval::{ieval_formula, Tri};
 use crate::model::Model;
 use crate::simplify::simplify_formula;
 use crate::solver::Outcome;
+use crate::tape::{CompiledQuery, TapeScratch};
 use crate::term::Formula;
 use crate::vars::BoxDomain;
 use cso_runtime::hash::Fnv64;
@@ -50,6 +51,11 @@ const MEMO_CAP: usize = 8_192;
 /// Frontiers larger than this are not stored: re-verifying that many boxes
 /// would rival the cost of the cold solve they replace.
 const FRONTIER_BOX_CAP: usize = 16_384;
+
+/// Frontier boxes refuted per batched tape pass. Bounds the interval
+/// scratch to `WARM_CHUNK × slots` values however large the frontier is,
+/// while keeping each pass wide enough to amortize the slot loop.
+const WARM_CHUNK: usize = 64;
 
 /// The complete identity of one solver invocation: every input that can
 /// influence the outcome. Two invocations with equal keys produce
@@ -254,6 +260,23 @@ impl SolverCache {
     /// entails the formula the frontier was recorded from, over the same
     /// domain. Returns `false` on any doubt — caller must solve cold.
     pub fn try_warm_unsat(&mut self, site: u64, epoch: u64, revision: u64, f: &Formula) -> bool {
+        let q = CompiledQuery::prepare(f, None, false);
+        self.try_warm_unsat_compiled(site, epoch, revision, &q)
+    }
+
+    /// [`SolverCache::try_warm_unsat`] for a query the caller already
+    /// compiled (see [`CompiledQuery::prepare`]). With a tape, frontier
+    /// boxes are refuted in batched passes of [`WARM_CHUNK`] — the
+    /// refutation decision is bit-identical to the tree walker's, provided
+    /// the carried boxes lie inside the box the tape was prepared over
+    /// (they do: the engine's query domain is fixed per site).
+    pub fn try_warm_unsat_compiled(
+        &mut self,
+        site: u64,
+        epoch: u64,
+        revision: u64,
+        q: &CompiledQuery,
+    ) -> bool {
         let Some(entry) = self.frontiers.get(&site) else {
             return false;
         };
@@ -262,17 +285,26 @@ impl SolverCache {
             self.frontiers.remove(&site);
             return false;
         }
-        let simplified = simplify_formula(f);
-        if matches!(simplified, Formula::True) && !entry.boxes.is_empty() {
+        if matches!(q.simplified, Formula::True) && !entry.boxes.is_empty() {
             self.stats.warm_fallbacks += 1;
             return false;
         }
-        let conjuncts = simplified.conjuncts();
-        for dom in &entry.boxes {
-            if !refutes_conjuncts(&simplified, &conjuncts, dom) {
-                self.stats.warm_fallbacks += 1;
-                return false;
+        let refuted_everywhere = match &q.tape {
+            Some(tape) if !matches!(q.simplified, Formula::False) => {
+                let cis: Vec<u32> = (0..tape.conjunct_count() as u32).collect();
+                let mut scratch = TapeScratch::new();
+                let mut out = Vec::new();
+                entry.boxes.chunks(WARM_CHUNK).all(|chunk| {
+                    let refs: Vec<&BoxDomain> = chunk.iter().collect();
+                    tape.verdicts(&refs, &cis, &mut scratch, &mut out);
+                    out.chunks(cis.len()).all(|row| row.contains(&Tri::False))
+                })
             }
+            _ => entry.boxes.iter().all(|dom| refutes_conjuncts(&q.simplified, &q.conjuncts, dom)),
+        };
+        if !refuted_everywhere {
+            self.stats.warm_fallbacks += 1;
+            return false;
         }
         self.stats.warm_unsat += 1;
         self.stats.boxes_carried += entry.boxes.len();
@@ -471,6 +503,33 @@ mod tests {
         // Valid: same epoch, newer revision, refutable formula.
         cache.store_frontier(1, 0, 3, vec![d.clone()]);
         assert!(cache.try_warm_unsat(1, 0, 3, &f));
+    }
+
+    #[test]
+    fn warm_unsat_compiled_matches_tree_path() {
+        let (d, x, y) = setup();
+        let mut lo = d.clone();
+        lo.set(x, Interval::new(0.0, 1.0));
+        let mut hi = d.clone();
+        hi.set(x, Interval::new(9.0, 10.0));
+        // `full` refutes both carried boxes (and is even decided over the
+        // whole seed domain, exercising the tape's cached-verdict replay);
+        // `partial` refutes only `lo`, so both paths must fall back.
+        let full = Term::var(x).add(Term::var(y)).ge(Term::int(25));
+        let partial = Term::var(x).ge(Term::int(2));
+        for (f, expect) in [(full, true), (partial, false)] {
+            let q = CompiledQuery::prepare(&f, Some(&d), true);
+            assert!(q.tape.is_some());
+            let mut compiled = SolverCache::new();
+            compiled.store_frontier(1, 0, 3, vec![lo.clone(), hi.clone()]);
+            assert_eq!(compiled.try_warm_unsat_compiled(1, 0, 5, &q), expect);
+            let mut tree = SolverCache::new();
+            tree.store_frontier(1, 0, 3, vec![lo.clone(), hi.clone()]);
+            assert_eq!(tree.try_warm_unsat(1, 0, 5, &f), expect);
+            assert_eq!(compiled.stats.warm_unsat, tree.stats.warm_unsat);
+            assert_eq!(compiled.stats.warm_fallbacks, tree.stats.warm_fallbacks);
+            assert_eq!(compiled.stats.boxes_carried, tree.stats.boxes_carried);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::term::{CmpOp, Formula, Term};
 use crate::vars::BoxDomain;
-use cso_numeric::Interval;
+use cso_numeric::{Interval, Rat};
 
 /// Three-valued verdict of an interval formula check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,11 +60,29 @@ impl Tri {
     }
 }
 
+/// Sound enclosure of a single rational constant. `Rat::to_f64` is only
+/// accurate to ~1 ulp, so a constant like `1/3` must not be enclosed as
+/// `Interval::point(r.to_f64())` — that point can *exclude* the true value,
+/// and a `Tri::False` built on it could refute a box containing a
+/// satisfying point. Exactly-representable constants (integers, dyadics —
+/// the common case) stay points so decided comparisons stay sharp;
+/// everything else is widened outward by one ulp on both sides, covering
+/// the true rational whichever way `to_f64` rounded.
+#[must_use]
+pub fn rat_enclosure(r: &Rat) -> Interval {
+    let x = r.to_f64();
+    if x.is_finite() && Rat::from_f64(x).as_ref() != Some(r) {
+        Interval::new(x.next_down(), x.next_up())
+    } else {
+        Interval::point(x)
+    }
+}
+
 /// Evaluate a term over a box, returning a sound enclosure of its range.
 #[must_use]
 pub fn ieval_term(t: &Term, dom: &BoxDomain) -> Interval {
     match t {
-        Term::Const(r) => Interval::point(r.to_f64()),
+        Term::Const(r) => rat_enclosure(r),
         Term::Var(v) => dom.get(*v),
         Term::Neg(a) => -ieval_term(a, dom),
         Term::Add(a, b) => ieval_term(a, dom) + ieval_term(b, dom),
@@ -230,6 +248,45 @@ mod tests {
         // Over x in [1.5, 2]: condition certainly true.
         let d2 = dom2((1.5, 2.0), (0.0, 0.0));
         assert_eq!(ieval_term(&t, &d2), Interval::point(1000.0));
+    }
+
+    #[test]
+    fn inexact_constants_are_widened_outward() {
+        use cso_numeric::Rat;
+        let third = Rat::from_frac(1, 3);
+        let iv = rat_enclosure(&third);
+        // The enclosure must contain the true value: 3·iv ∋ 1.
+        let tripled = iv * Interval::point(3.0);
+        assert!(tripled.lo() < 1.0 && 1.0 < tripled.hi());
+        assert!(iv.hi() > iv.lo(), "1/3 is not a dyadic; its enclosure must be widened");
+        // Exactly representable constants stay points.
+        assert_eq!(rat_enclosure(&Rat::from_int(7)), Interval::point(7.0));
+        assert_eq!(rat_enclosure(&Rat::from_frac(3, 4)), Interval::point(0.75));
+    }
+
+    #[test]
+    fn point_enclosure_must_not_refute_a_satisfiable_box() {
+        use crate::vars::VarRegistry;
+        use cso_numeric::Rat;
+        // Regression: with `Const(1/3)` enclosed as a rounded point c, the
+        // degenerate box [c, c] was wrongly refuted for `x < 1/3` (when
+        // to_f64 rounds down, x = c *does* satisfy it) or for `x > 1/3`
+        // (when it rounds up). Whichever way the conversion rounded, the
+        // satisfiable side must no longer come back `Tri::False`.
+        let third = Rat::from_frac(1, 3);
+        let c = third.to_f64();
+        let rc = Rat::from_f64(c).expect("finite");
+        assert_ne!(rc, third, "1/3 must not convert exactly");
+        let mut r = VarRegistry::new();
+        let x = r.intern("x");
+        let mut d = BoxDomain::new(&r);
+        d.set(x, Interval::point(c));
+        let f = if rc < third {
+            Term::var(x).lt(Term::constant(third)) // x = c satisfies x < 1/3
+        } else {
+            Term::var(x).gt(Term::constant(third)) // x = c satisfies x > 1/3
+        };
+        assert_ne!(ieval_formula(&f, &d), Tri::False, "box contains a satisfying point");
     }
 
     #[test]

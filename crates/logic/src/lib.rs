@@ -55,10 +55,12 @@ pub mod ieval;
 pub mod model;
 pub mod simplify;
 pub mod solver;
+pub mod tape;
 pub mod term;
 pub mod vars;
 
 pub use cache::{CacheExport, CacheStats, FrontierExport, MemoEntry, QueryKey, SolverCache};
 pub use model::Model;
+pub use tape::{CompiledQuery, ExactScratch, Tape, TapeScratch, TapeStats};
 pub use term::{CmpOp, Formula, Term};
 pub use vars::{BoxDomain, VarId, VarRegistry};

@@ -53,12 +53,13 @@
 use crate::eval::eval_formula;
 use crate::ieval::{ieval_formula, Tri};
 use crate::model::Model;
-use crate::simplify::simplify_formula;
+use crate::tape::{CompiledQuery, ExactScratch, Tape, TapeScratch};
 use crate::term::Formula;
 use crate::vars::BoxDomain;
 use cso_numeric::{Interval, Rat};
 use cso_runtime::trace::{self, Value};
 use cso_runtime::{pool, Rng};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -74,6 +75,27 @@ fn default_threads() -> usize {
             .filter(|&t| t >= 1)
             .unwrap_or(1)
     })
+}
+
+/// Whether compiled-tape evaluation is on when a config does not say:
+/// on unless `CSO_EVAL_TAPE=off` (or `0`). Default-only, like
+/// `CSO_SOLVER_THREADS`: configs that set [`SolverConfig::tape`]
+/// explicitly (the differential tests do) are never overridden.
+fn tape_default() -> bool {
+    static TAPE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *TAPE.get_or_init(|| {
+        !matches!(std::env::var("CSO_EVAL_TAPE").ok().as_deref(), Some("off" | "0"))
+    })
+}
+
+thread_local! {
+    /// Per-thread interval scratch: branch-and-prune workers certify and
+    /// prune through the shared read-only [`Tape`], each with its own
+    /// value arrays.
+    static IV_SCRATCH: RefCell<TapeScratch> = RefCell::new(TapeScratch::new());
+    /// Per-thread exact-evaluation scratch (memo cells for the rational
+    /// tape interpreter).
+    static EX_SCRATCH: RefCell<ExactScratch> = RefCell::new(ExactScratch::new());
 }
 
 /// Tuning knobs for the solver.
@@ -116,6 +138,15 @@ pub struct SolverConfig {
     /// parallelized at the sweep level, so per-query parallelism is meant
     /// for single-query workloads.
     pub threads: usize,
+    /// Evaluate through a compiled tape (see [`crate::tape`]) instead of
+    /// re-walking the AST per conjunct per box. Outcomes and every
+    /// deterministic counter except [`SolverStats::eval_errors`] are
+    /// byte-identical either way (the tape's interval pre-filter can skip
+    /// an exact evaluation that would have errored); this knob only buys
+    /// wall-clock. Defaults to on unless `CSO_EVAL_TAPE=off` (or `0`),
+    /// which keeps the tree-walking path alive as the differential
+    /// reference.
+    pub tape: bool,
 }
 
 impl Default for SolverConfig {
@@ -131,6 +162,7 @@ impl Default for SolverConfig {
             use_seeding: true,
             collect_frontier: false,
             threads: default_threads(),
+            tape: tape_default(),
         }
     }
 }
@@ -180,6 +212,10 @@ pub struct SolverStats {
     pub residual_boxes: usize,
     /// Exact sample evaluations.
     pub samples_tried: usize,
+    /// Exact evaluations that errored (division by zero, unbound
+    /// variable). Errors count as failed samples, so without this counter
+    /// a measure-zero division-by-zero set is invisible in telemetry.
+    pub eval_errors: usize,
     /// Whether the model was found during seeding (vs branch-and-prune).
     pub sat_from_seeding: bool,
     /// Wall-clock time spent in the seeding phase.
@@ -236,6 +272,7 @@ struct TaskResult {
     verdict: TaskVerdict,
     samples: usize,
     pruned: usize,
+    errors: usize,
 }
 
 /// Shared read-only context for processing frontier boxes (worker-safe).
@@ -244,6 +281,7 @@ struct BnpCtx<'a> {
     f: &'a Formula,
     conjuncts: &'a [Formula],
     mentions: &'a [Vec<u32>],
+    tape: Option<&'a Tape>,
 }
 
 impl BnpCtx<'_> {
@@ -313,37 +351,42 @@ impl BnpCtx<'_> {
     fn process(&self, task: &BoxTask) -> TaskResult {
         let mut rng = self.box_rng(task.id);
         let mut samples = 0usize;
+        let mut errors = 0usize;
+        let try_certify = |vals: &[Rat], samples: &mut usize, errors: &mut usize| {
+            *samples += 1;
+            let (m, e) = certify_exact(self.tape, self.f, vals);
+            *errors += e;
+            m
+        };
 
         if task.pending.is_empty() {
             // Certainly true everywhere in the box; certify the midpoint
             // (guaranteed to succeed unless evaluation errors).
-            samples += 1;
-            if let Some(m) = certify_exact(self.f, &Solver::mid_values(&task.dom)) {
-                return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0 };
+            if let Some(m) = try_certify(&Solver::mid_values(&task.dom), &mut samples, &mut errors)
+            {
+                return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0, errors };
             }
             for _ in 0..3 {
-                samples += 1;
                 let vals = Solver::sample_uniform(&mut rng, &task.dom);
-                if let Some(m) = certify_exact(self.f, &vals) {
-                    return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0 };
+                if let Some(m) = try_certify(&vals, &mut samples, &mut errors) {
+                    return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0, errors };
                 }
             }
             // All evaluations errored (division by zero on a measure-zero
             // set can do this); treat conservatively as residual.
-            return TaskResult { verdict: TaskVerdict::Residual, samples, pruned: 0 };
+            return TaskResult { verdict: TaskVerdict::Residual, samples, pruned: 0, errors };
         }
 
         // Sample inside the box.
         for _ in 0..self.cfg.samples_per_box {
-            samples += 1;
             let vals = Solver::sample_uniform(&mut rng, &task.dom);
-            if let Some(m) = certify_exact(self.f, &vals) {
-                return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0 };
+            if let Some(m) = try_certify(&vals, &mut samples, &mut errors) {
+                return TaskResult { verdict: TaskVerdict::Sat(m), samples, pruned: 0, errors };
             }
         }
 
         if self.box_is_residual(task) {
-            return TaskResult { verdict: TaskVerdict::Residual, samples, pruned: 0 };
+            return TaskResult { verdict: TaskVerdict::Residual, samples, pruned: 0, errors };
         }
 
         // Split on the widest dimension among those mentioned by pending
@@ -352,14 +395,34 @@ impl BnpCtx<'_> {
         let (lo, hi) = task.dom.bisect(dim);
         let mut pruned = 0usize;
         let mut children = Vec::with_capacity(2);
-        'child: for child_dom in [lo, hi] {
+        // Conjuncts to re-check on the children: those that mention the
+        // split dim; others keep their Unknown verdict on the sub-box.
+        // With a tape, both children's rechecks run in one batched pass.
+        let recheck: Vec<u32> = task
+            .pending
+            .iter()
+            .copied()
+            .filter(|&ci| self.mentions[ci as usize].binary_search(&(dim as u32)).is_ok())
+            .collect();
+        let batched: Option<Vec<Tri>> = self.tape.filter(|_| !recheck.is_empty()).map(|tape| {
+            IV_SCRATCH.with(|s| {
+                let mut out = Vec::new();
+                tape.verdicts(&[&lo, &hi], &recheck, &mut s.borrow_mut(), &mut out);
+                out
+            })
+        });
+        'child: for (bi, child_dom) in [lo, hi].into_iter().enumerate() {
             let mut pending = Vec::with_capacity(task.pending.len());
+            // Cursor into `recheck` (a subsequence of `pending`, in order).
+            let mut j = 0usize;
             for &ci in &task.pending {
-                let c = &self.conjuncts[ci as usize];
-                // Re-evaluate only conjuncts that mention the split dim;
-                // others keep their Unknown verdict on the sub-box.
-                if self.mentions[ci as usize].binary_search(&(dim as u32)).is_ok() {
-                    match ieval_formula(c, &child_dom) {
+                if j < recheck.len() && recheck[j] == ci {
+                    let v = match &batched {
+                        Some(out) => out[bi * recheck.len() + j],
+                        None => ieval_formula(&self.conjuncts[ci as usize], &child_dom),
+                    };
+                    j += 1;
+                    match v {
                         Tri::False => {
                             pruned += 1;
                             continue 'child;
@@ -373,15 +436,33 @@ impl BnpCtx<'_> {
             }
             children.push((child_dom, pending));
         }
-        TaskResult { verdict: TaskVerdict::Split(children), samples, pruned }
+        TaskResult { verdict: TaskVerdict::Split(children), samples, pruned, errors }
     }
 }
 
-/// Exact rational check of `f` at `vals` (no counters — callers count).
-fn certify_exact(f: &Formula, vals: &[Rat]) -> Option<Model> {
-    match eval_formula(f, vals) {
-        Ok(true) => Some(Model::new(vals.to_vec())),
-        _ => None,
+/// Exact rational check of the (simplified) formula at `vals`, through the
+/// tape when one is available (no counters — callers count). Returns the
+/// model plus the number of evaluation errors observed (0 or 1). The
+/// *decision* is bit-identical to `eval_formula`: the tape path first
+/// interval-refutes the point (one-ulp enclosures), and a sound rejection
+/// implies exact evaluation returns `Ok(false)` or an error — neither
+/// certifies — so only the error tally can differ between the paths.
+fn certify_exact(tape: Option<&Tape>, f: &Formula, vals: &[Rat]) -> (Option<Model>, usize) {
+    if let Some(t) = tape {
+        if IV_SCRATCH.with(|s| t.refutes_point(vals, &mut s.borrow_mut())) {
+            return (None, 0);
+        }
+        match EX_SCRATCH.with(|s| t.eval_exact(vals, &mut s.borrow_mut())) {
+            Ok(true) => (Some(Model::new(vals.to_vec())), 0),
+            Ok(false) => (None, 0),
+            Err(_) => (None, 1),
+        }
+    } else {
+        match eval_formula(f, vals) {
+            Ok(true) => (Some(Model::new(vals.to_vec())), 0),
+            Ok(false) => (None, 0),
+            Err(_) => (None, 1),
+        }
     }
 }
 
@@ -417,13 +498,30 @@ impl Solver {
     }
 
     /// Solve with caller-provided seed models (checked first, then
-    /// jittered). Seeds outside the box are clamped into it.
+    /// jittered). Seeds outside the box are clamped into it. Compiles the
+    /// query (see [`CompiledQuery::prepare`]) and delegates to
+    /// [`Solver::solve_compiled`].
     pub fn solve_seeded(&mut self, f: &Formula, dom: &BoxDomain, seeds: &[Model]) -> Outcome {
+        let q = CompiledQuery::prepare(f, Some(dom), self.cfg.tape);
+        self.solve_compiled(&q, dom, seeds)
+    }
+
+    /// Solve a query the caller compiled once with
+    /// [`CompiledQuery::prepare`] — the engine prepares per query so the
+    /// solver, the exact certifier, and the cache's warm-start refutation
+    /// share one compilation. `dom` must be contained in the box the query
+    /// was prepared over (the tape's domain-seeded verdicts are only sound
+    /// on sub-boxes).
+    pub fn solve_compiled(
+        &mut self,
+        q: &CompiledQuery,
+        dom: &BoxDomain,
+        seeds: &[Model],
+    ) -> Outcome {
         self.stats = SolverStats::default();
         self.stats.workers = 1;
         self.frontier = None;
-        let f = simplify_formula(f);
-        match f {
+        match q.simplified {
             Formula::True => {
                 let m = self.certify(&Formula::True, &Solver::mid_values(dom));
                 return Outcome::Sat(m.unwrap_or_else(|| Model::new(Solver::mid_values(dom))));
@@ -442,7 +540,7 @@ impl Solver {
                 vec![("seeds", Value::U64(seeds.len() as u64))]
             });
             let t0 = Instant::now();
-            let seeded = self.seeding_phase(&f, dom, seeds);
+            let seeded = self.seeding_phase(q, dom, seeds);
             self.stats.seeding_time = t0.elapsed();
             if let Some(m) = seeded {
                 self.stats.sat_from_seeding = true;
@@ -453,7 +551,7 @@ impl Solver {
         let t0 = Instant::now();
         let out = {
             let _sp = trace::span("solver.bnp");
-            self.branch_and_prune(&f, dom)
+            self.branch_and_prune(q, dom)
         };
         self.stats.bnp_time = t0.elapsed();
         out
@@ -461,11 +559,16 @@ impl Solver {
 
     // -- phase 1: seeding ---------------------------------------------------
 
-    fn seeding_phase(&mut self, f: &Formula, dom: &BoxDomain, seeds: &[Model]) -> Option<Model> {
+    fn seeding_phase(
+        &mut self,
+        q: &CompiledQuery,
+        dom: &BoxDomain,
+        seeds: &[Model],
+    ) -> Option<Model> {
         // Exact seeds, clamped into the box.
         for s in seeds {
             let vals = Solver::clamp_into(dom, s.values());
-            if let Some(m) = self.certify(f, &vals) {
+            if let Some(m) = self.certify_q(q, &vals) {
                 return Some(m);
             }
         }
@@ -475,7 +578,7 @@ impl Solver {
         for s in seeds {
             for j in 0..self.cfg.jitters_per_seed {
                 let vals = Solver::jitter(&mut self.rng, dom, s.values(), j as u32);
-                if let Some(m) = self.certify(f, &vals) {
+                if let Some(m) = self.certify_q(q, &vals) {
                     return Some(m);
                 }
             }
@@ -483,7 +586,7 @@ impl Solver {
         // Uniform random samples.
         for _ in 0..self.cfg.initial_samples {
             let vals = Solver::sample_uniform(&mut self.rng, dom);
-            if let Some(m) = self.certify(f, &vals) {
+            if let Some(m) = self.certify_q(q, &vals) {
                 return Some(m);
             }
         }
@@ -492,19 +595,34 @@ impl Solver {
 
     // -- phase 2: branch and prune -------------------------------------------
 
-    fn branch_and_prune(&mut self, f: &Formula, dom: &BoxDomain) -> Outcome {
-        let conjuncts = f.conjuncts();
+    fn branch_and_prune(&mut self, q: &CompiledQuery, dom: &BoxDomain) -> Outcome {
+        let conjuncts = &q.conjuncts;
         if conjuncts.is_empty() {
             // f simplified to True; handled earlier, but stay safe.
             return Outcome::Sat(Model::new(Solver::mid_values(dom)));
         }
+        let tape = q.tape.as_ref();
         let mentions: Vec<Vec<u32>> =
             conjuncts.iter().map(|c| c.vars().iter().map(|v| v.0).collect()).collect();
 
-        // Root: evaluate everything once.
+        // Root: evaluate everything once (one batched tape pass when
+        // compiled); scan in conjunct order so the first-False short
+        // circuit matches the tree walker's counters exactly.
+        let root_verdicts: Option<Vec<Tri>> = tape.map(|t| {
+            let cis: Vec<u32> = (0..conjuncts.len() as u32).collect();
+            IV_SCRATCH.with(|s| {
+                let mut out = Vec::new();
+                t.verdicts(&[dom], &cis, &mut s.borrow_mut(), &mut out);
+                out
+            })
+        });
         let mut root_pending = Vec::new();
         for (i, c) in conjuncts.iter().enumerate() {
-            match ieval_formula(c, dom) {
+            let v = match &root_verdicts {
+                Some(out) => out[i],
+                None => ieval_formula(c, dom),
+            };
+            match v {
                 Tri::False => {
                     self.stats.boxes_processed = 1;
                     self.stats.boxes_pruned = 1;
@@ -520,7 +638,7 @@ impl Solver {
 
         let workers = self.cfg.threads.clamp(1, ROUND_SIZE);
         self.stats.workers = workers;
-        let ctx = BnpCtx { cfg: &self.cfg, f, conjuncts: &conjuncts, mentions: &mentions };
+        let ctx = BnpCtx { cfg: &self.cfg, f: &q.simplified, conjuncts, mentions: &mentions, tape };
 
         // Depth-first stack of unexplored boxes; the top is the deepest.
         let mut stack = vec![BoxTask { dom: dom.clone(), pending: root_pending, id: 0 }];
@@ -578,6 +696,7 @@ impl Solver {
                         self.stats.boxes_processed += 1;
                         self.stats.samples_tried += res.samples;
                         self.stats.boxes_pruned += res.pruned;
+                        self.stats.eval_errors += res.errors;
                         match verdict {
                             TaskVerdict::Sat(m) => {
                                 sat = Some(m);
@@ -644,7 +763,12 @@ impl Solver {
         let best_sat = AtomicUsize::new(usize::MAX);
         pool::scoped_map((0..batch.len()).collect(), workers, |i: usize| {
             if best_sat.load(Ordering::Relaxed) < i {
-                return TaskResult { verdict: TaskVerdict::Skipped, samples: 0, pruned: 0 };
+                return TaskResult {
+                    verdict: TaskVerdict::Skipped,
+                    samples: 0,
+                    pruned: 0,
+                    errors: 0,
+                };
             }
             let res = ctx.process(&batch[i]);
             if matches!(res.verdict, TaskVerdict::Sat(_)) {
@@ -742,7 +866,16 @@ impl Solver {
 
     fn certify(&mut self, f: &Formula, vals: &[Rat]) -> Option<Model> {
         self.stats.samples_tried += 1;
-        certify_exact(f, vals)
+        let (m, e) = certify_exact(None, f, vals);
+        self.stats.eval_errors += e;
+        m
+    }
+
+    fn certify_q(&mut self, q: &CompiledQuery, vals: &[Rat]) -> Option<Model> {
+        self.stats.samples_tried += 1;
+        let (m, e) = certify_exact(q.tape.as_ref(), &q.simplified, vals);
+        self.stats.eval_errors += e;
+        m
     }
 }
 
@@ -977,6 +1110,70 @@ mod tests {
                     (s4.stats.boxes_processed, s4.stats.boxes_pruned, s4.stats.samples_tried),
                     "seed {seed} query {qi}: deterministic counters diverged"
                 );
+            }
+        }
+    }
+
+    /// The compiled-tape path must be bit-for-bit the tree-walking path:
+    /// same outcome, same model, same deterministic counters — across SAT
+    /// bands, UNSAT proofs needing subdivision, and δ-UNSAT residue, with
+    /// seeding on and off and threads 1 and 4.
+    #[test]
+    fn tape_matches_tree_byte_for_byte() {
+        let (_, d, x, y) = setup2();
+        let queries: Vec<Formula> = vec![
+            Formula::and(vec![
+                Term::var(x).add(Term::var(y)).ge(Term::constant(Rat::from_frac(4999, 1000))),
+                Term::var(x).add(Term::var(y)).le(Term::constant(Rat::from_frac(5001, 1000))),
+            ]),
+            Formula::and(vec![
+                Term::var(x).mul(Term::var(y)).ge(Term::int(60)),
+                Term::var(x).add(Term::var(y)).le(Term::int(10)),
+            ]),
+            Formula::and(vec![
+                Term::var(x).mul(Term::var(y)).ge(Term::int(12)),
+                Term::var(x).mul(Term::var(y)).le(Term::int(13)),
+                Term::var(x).gt(Term::var(y)),
+            ]),
+            // Inexact constant (1/3) exercising the one-ulp enclosures.
+            Formula::and(vec![
+                Term::var(x).mul(Term::constant(Rat::from_frac(1, 3))).ge(Term::int(2)),
+                Term::var(x).add(Term::var(y)).le(Term::int(7)),
+            ]),
+        ];
+        for seeding in [false, true] {
+            for threads in [1usize, 4] {
+                for (qi, f) in queries.iter().enumerate() {
+                    let base = SolverConfig {
+                        seed: 7,
+                        use_seeding: seeding,
+                        threads,
+                        ..SolverConfig::default()
+                    };
+                    let mut on = Solver::new(SolverConfig { tape: true, ..base.clone() });
+                    let mut off = Solver::new(SolverConfig { tape: false, ..base });
+                    let o_on = on.solve(f, &d);
+                    let o_off = off.solve(f, &d);
+                    let tag = format!("seeding {seeding} threads {threads} query {qi}");
+                    assert_eq!(o_on, o_off, "{tag}: outcomes diverged");
+                    assert_eq!(
+                        (
+                            on.stats.boxes_processed,
+                            on.stats.boxes_pruned,
+                            on.stats.residual_boxes,
+                            on.stats.samples_tried,
+                            on.stats.sat_from_seeding,
+                        ),
+                        (
+                            off.stats.boxes_processed,
+                            off.stats.boxes_pruned,
+                            off.stats.residual_boxes,
+                            off.stats.samples_tried,
+                            off.stats.sat_from_seeding,
+                        ),
+                        "{tag}: deterministic counters diverged"
+                    );
+                }
             }
         }
     }

@@ -293,6 +293,141 @@ fn warm_start_frontier_is_sound() {
     );
 }
 
+/// Random term over NVARS variables *with* division and inexact rational
+/// constants (e.g. `1/3`, whose `f64` enclosure must be widened outward).
+/// Only the tape differential properties use it: they compare the two
+/// evaluators bit for bit, errors included, so partiality is welcome.
+fn arb_term_partial() -> Gen<Term> {
+    let leaf = one_of(vec![
+        int_in(-50, 49).map(Term::int),
+        zip2(int_in(-9, 9), int_in(1, 7)).map(|(n, d)| Term::constant(Rat::from_frac(n, d))),
+        int_in(0, NVARS as i64 - 1).map(|i| Term::var(VarId::from_index(i as usize))),
+    ]);
+    recursive(leaf, 3, |inner| {
+        one_of(vec![
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.add(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.sub(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.mul(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.div(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.min(b)),
+            zip2(inner.clone(), inner.clone()).map(|(a, b)| a.max(b)),
+            zip3(inner.clone(), inner.clone(), inner)
+                .map(|(c, a, b)| Term::ite(c.ge(Term::int(0)), a, b)),
+        ])
+    })
+}
+
+fn arb_formula_partial() -> Gen<Formula> {
+    let atom = zip3(arb_term_partial(), arb_term_partial(), int_in(0, 5)).map(|(a, b, op)| {
+        let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][op as usize];
+        Formula::cmp(op, a, b)
+    });
+    recursive(atom, 3, |inner| {
+        one_of(vec![
+            vec_of(inner.clone(), 1, 3).map(Formula::and),
+            vec_of(inner.clone(), 1, 2).map(Formula::or),
+            inner.map(Formula::not),
+        ])
+    })
+}
+
+/// The compiled tape's interval interpreter is decision-identical to the
+/// tree walker: for every conjunct of the prepared query and every box,
+/// the batched tape verdict equals `ieval_formula` — including on random
+/// *sub-boxes* of the seed domain, where domain seeding may replay cached
+/// decided verdicts instead of re-evaluating.
+#[test]
+fn tape_interval_verdicts_match_tree_walker() {
+    use cso_logic::{CompiledQuery, TapeScratch};
+    prop::check_with(
+        &cfg128(),
+        "tape_interval_verdicts_match_tree_walker",
+        &zip2(arb_box_and_point(), arb_formula_partial()),
+        |((dom, pt), f)| {
+            let q = CompiledQuery::prepare(f, Some(dom), true);
+            let Some(tape) = &q.tape else { return Ok(()) }; // trivial query
+                                                             // A sub-box of the seed domain: shrink each dim toward `pt`.
+            let mut sub = dom.clone();
+            for (i, iv) in dom.intervals().iter().enumerate() {
+                let p = pt[i].to_f64();
+                sub.set(VarId::from_index(i), Interval::new((iv.lo() + p) / 2.0, p.max(iv.lo())));
+            }
+            let mut scratch = TapeScratch::new();
+            let cis: Vec<u32> = (0..q.conjuncts.len() as u32).collect();
+            let mut out = Vec::new();
+            tape.verdicts(&[dom, &sub], &cis, &mut scratch, &mut out);
+            for (b, d) in [dom, &sub].into_iter().enumerate() {
+                for (j, c) in q.conjuncts.iter().enumerate() {
+                    let tree = ieval_formula(c, d);
+                    let got = out[b * cis.len() + j];
+                    prop_assert_eq!(got, tree, "conjunct {} of {} over box {}", j, f, b);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The tape's exact interpreter replays `eval_formula` bit for bit —
+/// same verdicts, same errors (division by zero surfaces from the same
+/// operand order, untaken `ite` branches never evaluate).
+#[test]
+fn tape_exact_eval_matches_eval_formula() {
+    use cso_logic::{CompiledQuery, ExactScratch, TapeScratch};
+    prop::check_with(
+        &cfg128(),
+        "tape_exact_eval_matches_eval_formula",
+        &zip2(arb_box_and_point(), arb_formula_partial()),
+        |((dom, pt), f)| {
+            let q = CompiledQuery::prepare(f, Some(dom), true);
+            let Some(tape) = &q.tape else { return Ok(()) };
+            let tree = eval_formula(&q.simplified, pt);
+            let mut ex = ExactScratch::new();
+            let got = tape.eval_exact(pt, &mut ex);
+            prop_assert_eq!(&got, &tree, "exact replay diverged on {}", f);
+            // The interval point fast path is sound: a refuted point can
+            // never be a model.
+            let mut iv = TapeScratch::new();
+            if tape.refutes_point(pt, &mut iv) {
+                prop_assert!(!matches!(tree, Ok(true)), "refutes_point rejected a model of {}", f);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Batched SoA evaluation is just a layout change: verdicts over a batch
+/// of boxes equal the verdicts of each box evaluated alone.
+#[test]
+fn tape_batched_verdicts_match_single_box() {
+    use cso_logic::{CompiledQuery, TapeScratch};
+    prop::check_with(
+        &cfg128(),
+        "tape_batched_verdicts_match_single_box",
+        &zip3(arb_box_and_point(), arb_box_and_point(), arb_formula_partial()),
+        |((d1, _), (d2, _), f)| {
+            let q = CompiledQuery::prepare(f, None, true);
+            let Some(tape) = &q.tape else { return Ok(()) };
+            let cis: Vec<u32> = (0..q.conjuncts.len() as u32).collect();
+            let mut scratch = TapeScratch::new();
+            let mut batched = Vec::new();
+            tape.verdicts(&[d1, d2], &cis, &mut scratch, &mut batched);
+            for (b, d) in [d1, d2].into_iter().enumerate() {
+                let mut single = Vec::new();
+                tape.verdicts(&[d], &cis, &mut scratch, &mut single);
+                prop_assert_eq!(
+                    &batched[b * cis.len()..(b + 1) * cis.len()],
+                    &single[..],
+                    "batch row {} diverged for {}",
+                    b,
+                    f
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Shrinking smoke test: force a failure on a structural property and
 /// check the harness hands back a *minimal* term, not the first random
 /// counterexample. "Contains a Mul node" should shrink to a bare product
